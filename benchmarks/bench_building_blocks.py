@@ -1,0 +1,155 @@
+"""Micro-benchmarks and ablations of the building blocks (Section 4).
+
+These are not paper figures; they are the ablation benches DESIGN.md calls
+out for the design choices of the building blocks:
+
+* multisequence selection (one collective round per pivot) — scaling with r,
+* data delivery strategies — message bounds of naive vs deterministic vs
+  advanced on the adversarial tiny-pieces input,
+* bucket grouping — plain binary search vs the Appendix C accelerated search,
+* fast work-inefficient sorting of a sample,
+* sequential multiway merging (loser tree vs vectorised merge).
+"""
+
+import numpy as np
+import pytest
+from conftest import publish
+
+from repro.analysis.tables import format_table
+from repro.blocks.delivery import deliver_to_groups
+from repro.blocks.fast_sort import select_splitters_by_rank
+from repro.blocks.grouping import optimal_bucket_grouping
+from repro.blocks.multiselect import multisequence_select
+from repro.machine.spec import laptop_like
+from repro.seq.merge import merge_runs_numpy, multiway_merge
+from repro.sim.machine import SimulatedMachine
+
+
+def make_comm(p):
+    return SimulatedMachine(p, spec=laptop_like(), seed=1).world()
+
+
+class TestMultiselectBench:
+    def test_bench_multiselect_r16(self, benchmark):
+        p, n_per_pe, r = 32, 2000, 16
+        rng = np.random.default_rng(0)
+        data = [np.sort(rng.integers(0, 10**9, n_per_pe)) for _ in range(p)]
+        ranks = [(g * p * n_per_pe) // r for g in range(1, r)]
+
+        def run():
+            comm = make_comm(p)
+            return multisequence_select(comm, data, ranks)
+
+        result = benchmark(run)
+        assert result.splits.shape == (r - 1, p)
+
+
+class TestDeliveryBench:
+    @pytest.mark.parametrize("method", ["naive", "deterministic", "advanced"])
+    def test_bench_delivery(self, benchmark, method):
+        p, r = 32, 4
+        rng = np.random.default_rng(2)
+        pieces = []
+        for i in range(p):
+            if i % 8 == 0:
+                pieces.append([rng.integers(0, 1000, 2000) for _ in range(r)])
+            else:
+                pieces.append([rng.integers(0, 1000, 2) for _ in range(r)])
+
+        def run():
+            comm = make_comm(p)
+            groups = comm.split(r)
+            return deliver_to_groups(comm, groups, pieces, method=method)
+
+        result = benchmark(run)
+        assert result.received_sizes.sum() == sum(
+            piece.size for row in pieces for piece in row
+        )
+
+    def test_delivery_message_ablation(self, benchmark):
+        """Ablation table: max received messages per strategy on the worst case."""
+        p, r = 64, 4
+        rng = np.random.default_rng(3)
+        pieces = []
+        for i in range(p):
+            if i == 0:
+                pieces.append([rng.integers(0, 1000, 5000) for _ in range(r)])
+            else:
+                pieces.append([rng.integers(0, 1000, 1) for _ in range(r)])
+
+        def run_all():
+            rows = []
+            for method in ("naive", "randomized", "deterministic", "advanced"):
+                comm = make_comm(p)
+                groups = comm.split(r)
+                result = deliver_to_groups(comm, groups, pieces, method=method, seed=5)
+                rows.append({
+                    "method": method,
+                    "max_recv_messages": result.max_received_messages(),
+                    "max_sent_messages": result.max_sent_messages(),
+                    "modelled_time_s": result.exchange.time,
+                })
+            return rows
+
+        rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+        publish("ablation_delivery_messages", format_table(
+            rows,
+            title=("Ablation — data delivery strategies on the adversarial "
+                   "tiny-pieces input (Section 4.3 / Appendix A)"),
+        ))
+        by_method = {row["method"]: row["max_recv_messages"] for row in rows}
+        assert by_method["deterministic"] < by_method["naive"]
+
+
+class TestGroupingBench:
+    @pytest.mark.parametrize("method", ["binary", "accelerated"])
+    def test_bench_grouping(self, benchmark, method):
+        rng = np.random.default_rng(4)
+        sizes = rng.integers(0, 10**6, size=1024)
+        result = benchmark(lambda: optimal_bucket_grouping(sizes, 64, method=method))
+        assert result.max_load >= int(sizes.max())
+
+    def test_grouping_scan_count_ablation(self, benchmark):
+        rng = np.random.default_rng(5)
+        sizes = rng.integers(0, 10**6, size=2048)
+
+        def run_all():
+            rows = []
+            for method in ("binary", "accelerated"):
+                result = optimal_bucket_grouping(sizes, 128, method=method)
+                rows.append({"method": method, "scan_calls": result.scan_calls,
+                             "max_load": result.max_load})
+            return rows
+
+        rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+        publish("ablation_grouping_scans", format_table(
+            rows, title="Ablation — bucket grouping search (Appendix C acceleration)"))
+        assert rows[0]["max_load"] == rows[1]["max_load"]
+
+
+class TestFastSortBench:
+    def test_bench_fast_sample_sort(self, benchmark):
+        p = 64
+        rng = np.random.default_rng(6)
+        samples = [rng.integers(0, 10**9, 64) for _ in range(p)]
+
+        def run():
+            comm = make_comm(p)
+            return select_splitters_by_rank(comm, samples, 127)
+
+        splitters = benchmark(run)
+        assert splitters.size == 127
+
+
+class TestSequentialMergeBench:
+    def test_bench_vectorised_merge(self, benchmark):
+        rng = np.random.default_rng(7)
+        runs = [np.sort(rng.integers(0, 10**9, 20000)) for _ in range(16)]
+        out = benchmark(lambda: merge_runs_numpy(runs))
+        assert out.size == 16 * 20000
+
+    def test_bench_loser_tree_merge_small(self, benchmark):
+        rng = np.random.default_rng(8)
+        runs = [np.sort(rng.integers(0, 10**6, 300)) for _ in range(8)]
+        out = benchmark(lambda: multiway_merge(runs))
+        assert out.size == 8 * 300

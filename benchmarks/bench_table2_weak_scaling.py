@@ -1,0 +1,60 @@
+"""Benchmark / reproduction of Table 2: AMS-sort weak-scaling wall-times.
+
+The paper's Table 2 reports the median wall-time of AMS-sort (best level
+choice) for ``p`` in {512..32768} and ``n/p`` in {1e5..1e7} on SuperMUC.  The
+reproduction runs the same sweep at a reduced scale on the simulated
+SuperMUC-like machine and reports the modelled times; the expected *shape* is
+that the time per element stays within a small factor as ``p`` grows (weak
+scalability), which the assertion checks.
+"""
+
+from conftest import publish
+
+from repro.analysis.tables import format_table
+from repro.experiments.harness import ExperimentRunner
+from repro.experiments.weak_scaling import (
+    paper_reference_rows,
+    table2_rows,
+    weak_scaling_rows,
+)
+
+
+def run_sweep(profile):
+    runner = ExperimentRunner()
+    rows = weak_scaling_rows(
+        p_values=profile["p_values"],
+        n_per_pe_values=profile["n_per_pe_values"],
+        level_counts=(1, 2),
+        repetitions=profile["repetitions"],
+        node_size=profile["node_size"],
+        runner=runner,
+    )
+    return rows
+
+
+def test_table2_weak_scaling(benchmark, profile):
+    rows = benchmark.pedantic(run_sweep, args=(profile,), rounds=1, iterations=1)
+    best = table2_rows(rows)
+
+    text = format_table(
+        best,
+        title=(
+            "Table 2 (scaled reproduction) — AMS-sort median modelled wall-times, "
+            f"best level choice, machine=supermuc-like, scale p={profile['p_values']}, "
+            f"n/p={profile['n_per_pe_values']}"
+        ),
+    )
+    text += "\n" + format_table(paper_reference_rows(),
+                                title="Paper Table 2 (SuperMUC reference, seconds)")
+    publish("table2_weak_scaling", text)
+
+    # Weak-scaling shape: for fixed n/p the modelled time grows only mildly
+    # with p (the paper sees a factor <= ~3.5 from 512 to 32768 PEs).
+    for n_per_pe in profile["n_per_pe_values"]:
+        times = [row["time_median_s"] for row in best if row["n_per_pe"] == n_per_pe]
+        assert times, "missing weak-scaling rows"
+        assert max(times) <= 12 * min(times)
+    # Times increase (roughly linearly) with n/p for fixed p.
+    for p in profile["p_values"]:
+        times = [row["time_median_s"] for row in best if row["p"] == p]
+        assert times == sorted(times)

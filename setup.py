@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline evaluation environment has no ``wheel`` package, so PEP 660
+editable installs are unavailable; keeping a ``setup.py`` (and no
+``[build-system]`` table in ``pyproject.toml``) lets ``pip install -e .``
+fall back to the legacy ``setup.py develop`` path, which only needs
+setuptools.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""Analysis utilities: theoretical cost model, metrics and table formatting."""
+
+from repro.analysis.theory import (
+    ams_sort_time_model,
+    rlm_sort_time_model,
+    single_level_sample_sort_time_model,
+    exch_lower_bound,
+    isoefficiency_ams,
+    isoefficiency_rlm,
+    isoefficiency_single_level,
+    startup_bound_multilevel,
+)
+from repro.analysis.calibration import (
+    CalibrationResult,
+    calibrate_spec,
+    measure_local_costs,
+)
+from repro.analysis.metrics import (
+    slowdown,
+    speedup,
+    efficiency,
+    weak_scaling_efficiency,
+    median,
+    summarize_runs,
+)
+from repro.analysis.tables import (
+    format_table,
+    format_series,
+    rows_to_csv,
+)
+
+__all__ = [
+    "CalibrationResult",
+    "calibrate_spec",
+    "measure_local_costs",
+    "ams_sort_time_model",
+    "rlm_sort_time_model",
+    "single_level_sample_sort_time_model",
+    "exch_lower_bound",
+    "isoefficiency_ams",
+    "isoefficiency_rlm",
+    "isoefficiency_single_level",
+    "startup_bound_multilevel",
+    "slowdown",
+    "speedup",
+    "efficiency",
+    "weak_scaling_efficiency",
+    "median",
+    "summarize_runs",
+    "format_table",
+    "format_series",
+    "rows_to_csv",
+]

@@ -1,0 +1,116 @@
+"""Calibration of the machine model's local-work constants.
+
+The simulator charges local work through per-element constants in
+:class:`~repro.machine.spec.MachineSpec` (``comparison_ns``, ``merge_ns``,
+``partition_ns``, ``move_ns``).  The presets ship with values that roughly
+correspond to a 2-ish GHz core running an optimised C++ implementation, as in
+the paper.  When the goal is instead to model *this* machine running *this*
+NumPy code (e.g. to compare the simulator's predictions against real
+wall-clock measurements of the sequential primitives), the constants can be
+measured directly with :func:`calibrate_spec`.
+
+Calibration is deliberately cheap (a few tens of milliseconds) and pure —
+it returns a new spec and never mutates global state.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.machine.spec import MachineSpec
+from repro.seq.merge import merge_two
+from repro.seq.partition import bucket_indices
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Measured per-element costs (nanoseconds) of the sequential primitives."""
+
+    comparison_ns: float
+    merge_ns: float
+    partition_ns: float
+    move_ns: float
+    sample_size: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain dictionary view (for logging)."""
+        return {
+            "comparison_ns": self.comparison_ns,
+            "merge_ns": self.merge_ns,
+            "partition_ns": self.partition_ns,
+            "move_ns": self.move_ns,
+            "sample_size": float(self.sample_size),
+        }
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Smallest wall-clock time of ``repeats`` invocations of ``fn`` (seconds)."""
+    best = math.inf
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_local_costs(sample_size: int = 200_000, seed: int = 0,
+                        repeats: int = 3) -> CalibrationResult:
+    """Measure the per-element costs of sorting, merging, partitioning and copying.
+
+    Parameters
+    ----------
+    sample_size:
+        Number of elements used per measurement; large enough to amortise
+        call overheads, small enough to stay in the tens of milliseconds.
+    """
+    if sample_size < 1000:
+        raise ValueError("sample_size too small for a meaningful calibration")
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 2**62, size=sample_size, dtype=np.int64)
+    sorted_a = np.sort(data[: sample_size // 2])
+    sorted_b = np.sort(data[sample_size // 2:])
+    splitters = np.sort(rng.integers(0, 2**62, size=255, dtype=np.int64))
+
+    t_sort = _best_of(lambda: np.sort(data, kind="stable"), repeats)
+    t_merge = _best_of(lambda: merge_two(sorted_a, sorted_b), repeats)
+    t_partition = _best_of(lambda: bucket_indices(data, splitters), repeats)
+    t_move = _best_of(lambda: data.copy(), repeats)
+
+    n = float(sample_size)
+    comparison_ns = 1e9 * t_sort / (n * max(1.0, math.log2(n)))
+    merge_ns = 1e9 * t_merge / n  # two-way merge: log2(ways) == 1
+    partition_ns = 1e9 * t_partition / (n * math.log2(splitters.size + 1))
+    move_ns = 1e9 * t_move / n
+    return CalibrationResult(
+        comparison_ns=max(comparison_ns, 1e-3),
+        merge_ns=max(merge_ns, 1e-3),
+        partition_ns=max(partition_ns, 1e-3),
+        move_ns=max(move_ns, 1e-3),
+        sample_size=sample_size,
+    )
+
+
+def calibrate_spec(base: MachineSpec | None = None, sample_size: int = 200_000,
+                   seed: int = 0) -> MachineSpec:
+    """Return a copy of ``base`` with local-work constants measured on this host.
+
+    Network parameters (``alpha``, ``beta``, hierarchy) are left untouched —
+    they describe the *modelled* machine, not the host running the simulation.
+    """
+    if base is None:
+        from repro.machine.spec import supermuc_like
+
+        base = supermuc_like()
+    measured = measure_local_costs(sample_size=sample_size, seed=seed)
+    return base.with_overrides(
+        name=f"{base.name}-calibrated",
+        comparison_ns=measured.comparison_ns,
+        merge_ns=measured.merge_ns,
+        partition_ns=measured.partition_ns,
+        move_ns=measured.move_ns,
+    )

@@ -1,0 +1,165 @@
+"""Closed-form running-time models from the paper's analysis.
+
+These functions evaluate the asymptotic cost expressions of the paper with
+explicit constants taken from a :class:`~repro.machine.spec.MachineSpec`, so
+that benchmarks can compare the *shape* of the simulated results against the
+analysis (Theorem 2 for RLM-sort, Theorem 3 / Lemma 3 for AMS-sort) and so
+that the isoefficiency statements of Sections 5 and 6 can be plotted.
+
+The models intentionally ignore lower-order terms exactly where the paper
+does; they are not a re-derivation, just a faithful transcription.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.machine.spec import MachineSpec
+
+
+def exch_lower_bound(spec: MachineSpec, h_words: float, r_messages: float,
+                     level: int = 2) -> float:
+    """Single-ported lower bound ``h*beta + r*alpha`` for ``Exch(P, h, r)``."""
+    return h_words * spec.beta_for_level(level) + r_messages * spec.alpha
+
+
+def startup_bound_multilevel(p: int, levels: int) -> float:
+    """The ``O(k * p^(1/k))`` bound on message startups per PE (Section 1).
+
+    This is the quantity the multi-level algorithms trade data movement
+    against: with ``k`` levels every PE participates in ``k`` exchanges with
+    ``O(p^(1/k))`` messages each instead of one exchange with ``O(p)``
+    messages.
+    """
+    if p <= 0 or levels <= 0:
+        raise ValueError("p and levels must be positive")
+    return levels * (p ** (1.0 / levels))
+
+
+def rlm_sort_time_model(
+    spec: MachineSpec, n: int, p: int, levels: int, level_of_exchange: int = 2
+) -> Dict[str, float]:
+    """Running-time terms of RLM-sort (Theorem 2 / Equation (3)).
+
+    Returns a dictionary with the individual terms (seconds):
+    ``local_sort``, ``multiselect``, ``exchange`` and ``total``.
+    """
+    if n <= 0 or p <= 0 or levels <= 0:
+        raise ValueError("n, p and levels must be positive")
+    n_over_p = max(1.0, n / p)
+    r = p ** (1.0 / levels)
+    log_n = math.log2(max(n, 2))
+    log_p = math.log2(max(p, 2))
+
+    local_sort = spec.local_sort_time(int(n_over_p))
+    # O((alpha log p + r beta + r log(n/p)) log n) for the k=O(1) multiselects
+    multiselect = (
+        spec.alpha * log_p
+        + r * spec.beta
+        + r * math.log2(n_over_p + 1) * spec.comparison_ns * 1e-9
+    ) * log_n * levels
+    # k exchanges of n/p words with O(r) startups each
+    exchange = levels * exch_lower_bound(spec, n_over_p, 2.0 * r, level=level_of_exchange)
+    # merging the received runs on every level
+    merge = levels * spec.local_merge_time(int(n_over_p), max(2, int(round(r))))
+    total = local_sort + multiselect + exchange + merge
+    return {
+        "local_sort": local_sort,
+        "multiselect": multiselect,
+        "exchange": exchange,
+        "merge": merge,
+        "total": total,
+    }
+
+
+def ams_sort_time_model(
+    spec: MachineSpec,
+    n: int,
+    p: int,
+    levels: int,
+    eps: float = 0.1,
+    level_of_exchange: int = 2,
+) -> Dict[str, float]:
+    """Running-time terms of AMS-sort (Theorem 3 / Lemma 3).
+
+    Terms returned: ``local_sort`` (final internal sorting), ``partition``
+    (bucket partitioning over all levels), ``splitter`` (sample sorting and
+    splitter broadcast), ``exchange`` and ``total``.
+    """
+    if n <= 0 or p <= 0 or levels <= 0:
+        raise ValueError("n, p and levels must be positive")
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    n_over_p = max(1.0, n / p)
+    r = p ** (1.0 / levels)
+    log_p = math.log2(max(p, 2))
+
+    local_sort = spec.local_sort_time(int(n_over_p))
+    # O(n/p log(r/eps)) partitioning per level
+    partition = levels * spec.local_partition_time(
+        int(n_over_p), max(2, int(round(r / eps)))
+    )
+    # O(beta k^2 p^(1/k) / eps) communication volume for splitters + samples
+    splitter = (
+        spec.beta * (levels ** 2) * r / eps
+        + levels * spec.alpha * log_p
+    )
+    exchange = levels * exch_lower_bound(
+        spec, (1.0 + eps) * n_over_p, 2.0 * r, level=level_of_exchange
+    )
+    total = local_sort + partition + splitter + exchange
+    return {
+        "local_sort": local_sort,
+        "partition": partition,
+        "splitter": splitter,
+        "exchange": exchange,
+        "total": total,
+    }
+
+
+def single_level_sample_sort_time_model(
+    spec: MachineSpec, n: int, p: int, level_of_exchange: int = 2
+) -> Dict[str, float]:
+    """Running-time terms of classic single-level sample sort.
+
+    The exchange has ``p - 1`` startups per PE, which is exactly the term
+    that does not scale (isoefficiency ``Omega(p^2 / log p)``).
+    """
+    if n <= 0 or p <= 0:
+        raise ValueError("n and p must be positive")
+    n_over_p = max(1.0, n / p)
+    log_p = math.log2(max(p, 2))
+    local_sort = spec.local_sort_time(int(n_over_p))
+    partition = spec.local_partition_time(int(n_over_p), max(2, p))
+    splitter = spec.alpha * log_p + spec.beta * p * math.log2(max(p, 2))
+    exchange = exch_lower_bound(spec, n_over_p, max(1, p - 1), level=level_of_exchange)
+    total = local_sort + partition + splitter + exchange
+    return {
+        "local_sort": local_sort,
+        "partition": partition,
+        "splitter": splitter,
+        "exchange": exchange,
+        "total": total,
+    }
+
+
+def isoefficiency_rlm(p: int, levels: int) -> float:
+    """Isoefficiency function of RLM-sort: ``O(p^(1+1/k) * log p)`` (Section 5)."""
+    if p <= 1:
+        return float(p)
+    return p ** (1.0 + 1.0 / levels) * math.log2(p)
+
+
+def isoefficiency_ams(p: int, levels: int) -> float:
+    """Isoefficiency function of AMS-sort: ``p^(1+1/k) / log p`` (Section 6)."""
+    if p <= 1:
+        return float(p)
+    return p ** (1.0 + 1.0 / levels) / math.log2(p)
+
+
+def isoefficiency_single_level(p: int) -> float:
+    """Isoefficiency of single-level sample sort: ``p^2 / log p`` (Section 1)."""
+    if p <= 1:
+        return float(p)
+    return p * p / math.log2(p)

@@ -1,0 +1,445 @@
+"""Data delivery to PE groups (Section 4.3, Section 4.3.1, Appendix A).
+
+Both multi-level algorithms face the same redistribution problem: every PE
+has partitioned its local data into ``r`` pieces and piece ``j`` must be
+moved to PE *group* ``j`` such that all PEs of a group receive (almost) the
+same amount of data, every piece is sent to only one or two consecutive
+target PEs, and — crucially for scalability — no PE receives too many tiny
+messages.
+
+Four strategies are implemented, mirroring the paper:
+
+``naive``
+    The plain prefix-sum enumeration (beginning of Section 4.3): correct and
+    perfectly balanced, but adversarial inputs can force ``Omega(p)`` tiny
+    messages onto a single receiver (Figure 3, top).
+
+``randomized``
+    The first-stage fix: the PE numbering used for the prefix sum is a
+    pseudorandom permutation per group (Figure 3, bottom), which spreads the
+    tiny pieces over all receivers with high probability.
+
+``deterministic``
+    The two-phase deterministic algorithm of Section 4.3.1 (Figure 4): small
+    pieces (size at most ``n / (2 p r)``) are assigned whole via a prefix
+    sum, then large pieces fill the residual capacities.  Guarantees
+    ``O(r)`` messages per PE.
+
+``advanced``
+    The advanced randomized algorithm of Appendix A: pieces larger than
+    ``s = a*n/(r*p)`` are broken into chunks of size ``s``, chunk descriptors
+    are delegated to pseudorandom PEs, and the per-group enumeration order is
+    randomized, giving ``<= 1 + 2r(1 + 1/a)`` received messages w.h.p.
+    (Lemma 6, Theorem 4).
+
+All strategies deliver exactly the same multiset of elements to each group
+and differ only in how the elements of a group are laid out across its PEs
+and in the number of messages used.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.blocks.feistel import FeistelPermutation
+from repro.machine.counters import PHASE_DATA_DELIVERY
+from repro.sim.exchange import ExchangeResult
+
+
+DELIVERY_METHODS = ("naive", "randomized", "deterministic", "advanced")
+
+
+@dataclass
+class DeliveryResult:
+    """Outcome of a data delivery step.
+
+    Attributes
+    ----------
+    received:
+        ``received[i]`` is the list of arrays PE ``i`` (local rank within the
+        delivering communicator) holds after the delivery — network messages
+        and locally retained pieces, ordered by sending PE.
+    received_sizes:
+        Total number of elements each PE holds after the delivery.
+    group_of_rank:
+        Group index of every local rank.
+    group_loads:
+        Total number of elements delivered to each group.
+    group_capacity:
+        The per-PE capacity bound used for each group (elements).
+    exchange:
+        The underlying :class:`ExchangeResult` (message statistics).
+    method:
+        Strategy that produced this result.
+    """
+
+    received: List[List[np.ndarray]]
+    received_sizes: np.ndarray
+    group_of_rank: np.ndarray
+    group_loads: np.ndarray
+    group_capacity: np.ndarray
+    exchange: ExchangeResult
+    method: str
+
+    def received_concat(self, local_rank: int) -> np.ndarray:
+        """All data held by ``local_rank`` after delivery, concatenated."""
+        pieces = [p for p in self.received[local_rank] if p.size > 0]
+        if not pieces:
+            for p in self.received[local_rank]:
+                return p[:0].copy()
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate(pieces)
+
+    def max_received_messages(self) -> int:
+        """Maximum number of network messages received by any PE."""
+        return int(self.exchange.messages_received.max(initial=0))
+
+    def max_sent_messages(self) -> int:
+        """Maximum number of network messages sent by any PE."""
+        return int(self.exchange.messages_sent.max(initial=0))
+
+
+def _piece_sizes(pieces: Sequence[Sequence[np.ndarray]], p: int, r: int) -> np.ndarray:
+    sizes = np.zeros((p, r), dtype=np.int64)
+    for i in range(p):
+        if len(pieces[i]) != r:
+            raise ValueError(
+                f"PE {i} provided {len(pieces[i])} pieces, expected one per group ({r})"
+            )
+        for j in range(r):
+            sizes[i, j] = int(np.asarray(pieces[i][j]).size)
+    return sizes
+
+
+def _group_layout(groups) -> Tuple[np.ndarray, np.ndarray]:
+    """Start rank (within the parent communicator) and size of every group."""
+    starts = []
+    sizes = []
+    offset = 0
+    for g in groups:
+        starts.append(offset)
+        sizes.append(g.size)
+        offset += g.size
+    return np.asarray(starts, dtype=np.int64), np.asarray(sizes, dtype=np.int64)
+
+
+def _positions_to_destinations(
+    start: int, count: int, block: int, group_start: int, group_size: int
+) -> List[Tuple[int, int, int]]:
+    """Map the position range ``[start, start+count)`` to destination PEs.
+
+    Returns ``(dest_rank, offset_in_piece, length)`` triples where
+    ``dest_rank`` is a local rank of the parent communicator.  Positions are
+    laid out in blocks of ``block`` consecutive positions per PE.
+    """
+    out: List[Tuple[int, int, int]] = []
+    if count <= 0:
+        return out
+    block = max(1, int(block))
+    pos = start
+    consumed = 0
+    while consumed < count:
+        pe_in_group = min(group_size - 1, pos // block)
+        pe_end = (pe_in_group + 1) * block if pe_in_group < group_size - 1 else start + count
+        take = min(count - consumed, max(1, pe_end - pos))
+        out.append((int(group_start + pe_in_group), consumed, int(take)))
+        pos += take
+        consumed += take
+    return out
+
+
+def _assign_by_prefix(
+    sizes: np.ndarray,
+    pieces: Sequence[Sequence[np.ndarray]],
+    group_starts: np.ndarray,
+    group_sizes: np.ndarray,
+    order_per_group: Optional[List[np.ndarray]] = None,
+) -> Tuple[List[List[Tuple[int, np.ndarray]]], np.ndarray, np.ndarray]:
+    """Prefix-sum position assignment shared by the naive/randomized/advanced paths.
+
+    ``order_per_group[j]`` gives the order in which the pieces of group ``j``
+    are enumerated (indices into the sending PEs); ``None`` means natural
+    order (the naive algorithm).
+    """
+    p, r = sizes.shape
+    outboxes: List[List[Tuple[int, np.ndarray]]] = [[] for _ in range(p)]
+    group_loads = sizes.sum(axis=0)
+    capacities = np.zeros(r, dtype=np.int64)
+    for j in range(r):
+        m_j = int(group_loads[j])
+        p_g = int(group_sizes[j])
+        block = int(math.ceil(m_j / p_g)) if m_j > 0 else 1
+        capacities[j] = block
+        order = order_per_group[j] if order_per_group is not None else np.arange(p)
+        offset = 0
+        for i in order:
+            i = int(i)
+            size = int(sizes[i, j])
+            if size == 0:
+                continue
+            targets = _positions_to_destinations(
+                offset, size, block, int(group_starts[j]), p_g
+            )
+            piece = np.asarray(pieces[i][j])
+            for dest, piece_off, length in targets:
+                outboxes[i].append((dest, piece[piece_off:piece_off + length]))
+            offset += size
+    return outboxes, group_loads, capacities
+
+
+def _assign_deterministic(
+    sizes: np.ndarray,
+    pieces: Sequence[Sequence[np.ndarray]],
+    group_starts: np.ndarray,
+    group_sizes: np.ndarray,
+) -> Tuple[List[List[Tuple[int, np.ndarray]]], np.ndarray, np.ndarray]:
+    """The two-phase deterministic assignment of Section 4.3.1."""
+    p, r = sizes.shape
+    total = int(sizes.sum())
+    outboxes: List[List[Tuple[int, np.ndarray]]] = [[] for _ in range(p)]
+    group_loads = sizes.sum(axis=0)
+    capacities = np.zeros(r, dtype=np.int64)
+    threshold = max(1, total // (2 * p * r)) if total > 0 else 1
+
+    for j in range(r):
+        m_j = int(group_loads[j])
+        p_g = int(group_sizes[j])
+        group_start = int(group_starts[j])
+        if m_j == 0:
+            capacities[j] = 0
+            continue
+        cap = int(math.ceil(m_j / p_g))
+        piece_sizes_j = sizes[:, j]
+        small_senders = np.flatnonzero((piece_sizes_j > 0) & (piece_sizes_j <= threshold))
+        large_senders = np.flatnonzero(piece_sizes_j > threshold)
+
+        # Phase 1: small pieces are assigned whole, round-robin by their
+        # enumeration index (piece s goes to group PE floor(s / r)).
+        load = np.zeros(p_g, dtype=np.int64)
+        for s_idx, i in enumerate(small_senders):
+            pe_in_group = min(p_g - 1, s_idx // max(1, r))
+            dest = group_start + pe_in_group
+            outboxes[int(i)].append((dest, np.asarray(pieces[int(i)][j])))
+            load[pe_in_group] += int(piece_sizes_j[i])
+
+        # Phase 2: large pieces fill the residual capacities.
+        large_total = int(piece_sizes_j[large_senders].sum())
+        residual = np.maximum(0, cap - load)
+        if residual.sum() < large_total:
+            bump = int(math.ceil((large_total - int(residual.sum())) / p_g))
+            cap += bump
+            residual = np.maximum(0, cap - load)
+        capacities[j] = int(cap)
+        if large_total > 0:
+            res_prefix = np.concatenate([[0], np.cumsum(residual)])
+            offset = 0
+            for i in large_senders:
+                i = int(i)
+                size = int(piece_sizes_j[i])
+                piece = np.asarray(pieces[i][j])
+                consumed = 0
+                pos = offset
+                while consumed < size:
+                    # slot `pos` belongs to the PE whose residual range contains it
+                    pe_in_group = int(np.searchsorted(res_prefix, pos, side="right")) - 1
+                    pe_in_group = min(pe_in_group, p_g - 1)
+                    pe_room_end = int(res_prefix[pe_in_group + 1]) if pe_in_group + 1 < res_prefix.size else pos + (size - consumed)
+                    take = min(size - consumed, max(1, pe_room_end - pos))
+                    dest = group_start + pe_in_group
+                    outboxes[i].append((dest, piece[consumed:consumed + take]))
+                    pos += take
+                    consumed += take
+                offset += size
+        else:
+            capacities[j] = int(cap)
+    return outboxes, group_loads, capacities
+
+
+def _advanced_orders(
+    sizes: np.ndarray,
+    group_sizes: np.ndarray,
+    seed: int,
+    oversplit: float,
+) -> Tuple[List[List[Tuple[int, int, int]]], int]:
+    """Chunk lists for the advanced randomized algorithm.
+
+    Returns, per group, a pseudorandomly ordered list of chunks
+    ``(sender, offset, length)`` plus the number of delegated (large) chunks
+    over all groups (used to charge the descriptor exchange).
+    """
+    p, r = sizes.shape
+    total = int(sizes.sum())
+    limit = max(1, int(math.ceil(oversplit * total / max(1, r * p)))) if total > 0 else 1
+    per_group: List[List[Tuple[int, int, int]]] = []
+    delegated = 0
+    for j in range(r):
+        chunks: List[Tuple[int, int, int]] = []
+        for i in range(p):
+            size = int(sizes[i, j])
+            if size == 0:
+                continue
+            if size <= limit:
+                chunks.append((i, 0, size))
+            else:
+                off = 0
+                while off < size:
+                    length = min(limit, size - off)
+                    chunks.append((i, off, length))
+                    off += length
+                    delegated += 1
+        if len(chunks) > 1:
+            perm = FeistelPermutation(len(chunks), seed=seed * 7919 + j)
+            order = np.argsort(perm.permutation_array(), kind="stable")
+            chunks = [chunks[int(t)] for t in order]
+        per_group.append(chunks)
+    return per_group, delegated
+
+
+def deliver_to_groups(
+    comm,
+    groups,
+    pieces: Sequence[Sequence[np.ndarray]],
+    method: str = "deterministic",
+    seed: int = 0,
+    oversplit: Optional[float] = None,
+    phase: str = PHASE_DATA_DELIVERY,
+    schedule: str = "sparse",
+) -> DeliveryResult:
+    """Deliver per-PE pieces to PE groups and return the received data.
+
+    Parameters
+    ----------
+    comm:
+        Parent communicator whose PEs hold the pieces.
+    groups:
+        Sub-communicators from ``comm.split(r)``; group ``j`` receives the
+        ``j``-th piece of every PE.
+    pieces:
+        ``pieces[i][j]`` is the piece of local rank ``i`` destined for group
+        ``j``.  Pieces may be empty.
+    method:
+        One of :data:`DELIVERY_METHODS`.
+    seed:
+        Seed for the pseudorandom permutations of the randomized methods.
+    oversplit:
+        The tuning parameter ``a`` of the advanced algorithm (chunk size
+        ``a * n / (r p)``); defaults to ``max(1, sqrt(r / ln(max(r*p, 2))))``
+        following Lemma 6.
+    phase:
+        Phase name to attribute the modelled time to.
+    schedule:
+        Exchange schedule (``'sparse'`` or ``'dense'``).
+    """
+    if method not in DELIVERY_METHODS:
+        raise ValueError(f"unknown delivery method {method!r}; choose from {DELIVERY_METHODS}")
+    p = comm.size
+    r = len(groups)
+    if r == 0:
+        raise ValueError("need at least one target group")
+    sizes = _piece_sizes(pieces, p, r)
+    group_starts, group_sizes = _group_layout(groups)
+    if int(group_sizes.sum()) != p:
+        raise ValueError("groups must partition the parent communicator")
+
+    with comm.phase(phase):
+        # The vector-valued prefix sum over piece sizes (cost accounting for
+        # the enumeration step; the actual positions are computed below).
+        comm.exscan_vec([sizes[i] for i in range(p)])
+
+        if method == "naive":
+            outboxes, group_loads, capacities = _assign_by_prefix(
+                sizes, pieces, group_starts, group_sizes, order_per_group=None
+            )
+        elif method == "randomized":
+            orders = []
+            for j in range(r):
+                perm = FeistelPermutation(p, seed=seed * 104729 + j)
+                orders.append(np.argsort(perm.permutation_array(), kind="stable"))
+            outboxes, group_loads, capacities = _assign_by_prefix(
+                sizes, pieces, group_starts, group_sizes, order_per_group=orders
+            )
+        elif method == "deterministic":
+            outboxes, group_loads, capacities = _assign_deterministic(
+                sizes, pieces, group_starts, group_sizes
+            )
+        else:  # advanced
+            a_param = oversplit
+            if a_param is None:
+                a_param = max(1.0, math.sqrt(r / math.log(max(r * p, 2))))
+            chunk_lists, delegated = _advanced_orders(sizes, group_sizes, seed, a_param)
+            # Descriptor delegation: every delegated chunk sends a constant
+            # size descriptor to a pseudorandom PE (Appendix A); modelled as
+            # a small exchange.
+            if delegated > 0:
+                desc_out: List[List[Tuple[int, np.ndarray]]] = [[] for _ in range(p)]
+                perm = FeistelPermutation(max(delegated, 1), seed=seed * 15485863 + 1)
+                t = 0
+                for j, chunks in enumerate(chunk_lists):
+                    for (i, off, length) in chunks:
+                        if length < 1:
+                            continue
+                        # only chunks from broken-up pieces are delegated
+                        if sizes[i, j] > length or off > 0:
+                            dest = int(perm.apply(t % max(delegated, 1))) % p
+                            desc_out[i].append((dest, np.zeros(3, dtype=np.int64)))
+                            t += 1
+                comm.exchange(desc_out, schedule=schedule, charge_copy=False)
+            # Build outboxes from the chunk enumeration order.
+            outboxes = [[] for _ in range(p)]
+            group_loads = sizes.sum(axis=0)
+            capacities = np.zeros(r, dtype=np.int64)
+            for j, chunks in enumerate(chunk_lists):
+                m_j = int(group_loads[j])
+                p_g = int(group_sizes[j])
+                block = int(math.ceil(m_j / p_g)) if m_j > 0 else 1
+                capacities[j] = block
+                offset = 0
+                for (i, off, length) in chunks:
+                    piece = np.asarray(pieces[i][j])
+                    targets = _positions_to_destinations(
+                        offset, length, block, int(group_starts[j]), p_g
+                    )
+                    for dest, t_off, t_len in targets:
+                        outboxes[i].append((dest, piece[off + t_off: off + t_off + t_len]))
+                    offset += length
+
+        # Keep local (self-addressed) pieces out of the network.
+        net_out: List[List[Tuple[int, np.ndarray]]] = [[] for _ in range(p)]
+        kept: List[List[Tuple[int, np.ndarray]]] = [[] for _ in range(p)]
+        for i in range(p):
+            for dest, payload in outboxes[i]:
+                if dest == i:
+                    kept[i].append((i, payload))
+                    comm.charge_local(i, comm.spec.local_move_time(int(payload.size)))
+                else:
+                    net_out[i].append((dest, payload))
+
+        exchange = comm.exchange(net_out, schedule=schedule)
+
+        received: List[List[np.ndarray]] = []
+        received_sizes = np.zeros(p, dtype=np.int64)
+        for i in range(p):
+            entries = list(exchange.inboxes[i]) + kept[i]
+            entries.sort(key=lambda e: e[0])
+            arrays = [np.asarray(payload) for _, payload in entries]
+            received.append(arrays)
+            received_sizes[i] = int(sum(a.size for a in arrays))
+
+        group_of_rank = np.zeros(p, dtype=np.int64)
+        for j in range(r):
+            start = int(group_starts[j])
+            group_of_rank[start:start + int(group_sizes[j])] = j
+
+    return DeliveryResult(
+        received=received,
+        received_sizes=received_sizes,
+        group_of_rank=group_of_rank,
+        group_loads=group_loads.astype(np.int64),
+        group_capacity=capacities,
+        exchange=exchange,
+        method=method,
+    )

@@ -1,0 +1,272 @@
+"""Assigning consecutive buckets to PE groups (Section 6, Lemma 1, Appendix C).
+
+After partitioning with ``b*r - 1`` splitters, AMS-sort knows the global size
+of each of the ``b*r`` buckets.  It must assign *consecutive ranges* of
+buckets to the ``r`` PE groups such that the maximum group load ``L`` is
+minimised — a constrained bin-packing problem.  The paper solves it with
+
+* a greedy **scanning algorithm** that, for a given bound ``L``, walks the
+  bucket-size array and opens a new group whenever adding the next bucket
+  would exceed ``L`` (it succeeds iff at most ``r`` groups are needed), and
+* a search for the optimal ``L``:
+
+  - plain binary search over the value range (``O(b r log n)``),
+  - the accelerated search of Appendix C that tightens the bounds using the
+    group sizes actually observed during scans and only considers the
+    ``O(b r)`` candidate values that are sums of consecutive buckets.
+
+Lemma 1 proves the scanning algorithm finds the optimal ``L``; the
+test-suite verifies this against a brute-force dynamic program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class GroupingResult:
+    """Result of a bucket-grouping computation.
+
+    Attributes
+    ----------
+    boundaries:
+        Bucket index boundaries: group ``g`` receives buckets
+        ``boundaries[g] .. boundaries[g+1] - 1``.  ``len(boundaries) ==
+        num_groups + 1``; trailing groups may be empty.
+    bound:
+        The load bound ``L`` for which the scan succeeded (maximum group
+        load is ``<= bound``).
+    group_loads:
+        Total number of elements assigned to each group.
+    scan_calls:
+        Number of scanning passes performed while searching for the optimal
+        ``L`` (reported so the Appendix C accelerations are observable).
+    """
+
+    boundaries: np.ndarray
+    bound: int
+    group_loads: np.ndarray
+    scan_calls: int
+
+    @property
+    def max_load(self) -> int:
+        """The realised maximum group load."""
+        return int(self.group_loads.max(initial=0))
+
+
+def scan_buckets_with_bound(
+    bucket_sizes: Sequence[int], num_groups: int, bound: int
+) -> Optional[np.ndarray]:
+    """Greedy scan: pack buckets into at most ``num_groups`` groups of load ``<= bound``.
+
+    Returns the boundaries array on success and ``None`` when the bound is
+    infeasible.  A single bucket larger than ``bound`` always fails.
+    """
+    sizes = np.asarray(bucket_sizes, dtype=np.int64)
+    if num_groups <= 0:
+        raise ValueError("need at least one group")
+    if bound < 0:
+        return None
+    boundaries = [0]
+    load = 0
+    for idx, s in enumerate(sizes):
+        s = int(s)
+        if s > bound:
+            return None
+        if load + s > bound:
+            boundaries.append(idx)
+            load = 0
+            if len(boundaries) - 1 >= num_groups:
+                return None
+        load += s
+    while len(boundaries) < num_groups + 1:
+        boundaries.append(int(sizes.size))
+    return np.asarray(boundaries, dtype=np.int64)
+
+
+def group_sizes_from_boundaries(
+    bucket_sizes: Sequence[int], boundaries: Sequence[int]
+) -> np.ndarray:
+    """Total load of every group for given bucket boundaries."""
+    sizes = np.asarray(bucket_sizes, dtype=np.int64)
+    bnd = np.asarray(boundaries, dtype=np.int64)
+    csum = np.concatenate([[0], np.cumsum(sizes)])
+    return (csum[bnd[1:]] - csum[bnd[:-1]]).astype(np.int64)
+
+
+def _scan_observing(
+    sizes: np.ndarray, num_groups: int, bound: int
+) -> Tuple[Optional[np.ndarray], int, int]:
+    """Scan that also reports the Appendix C bound-update values.
+
+    Returns ``(boundaries or None, largest_group, min_overflow)`` where
+    ``largest_group`` is the largest group actually built (valid on success;
+    it allows lowering the upper bound of the search) and ``min_overflow`` is
+    the smallest value ``x + y`` observed when a bucket of size ``y`` did not
+    fit on top of a group of size ``x`` (valid on failure; any bound below it
+    reproduces the same failed partition, so it becomes the new lower bound).
+    """
+    boundaries = [0]
+    load = 0
+    largest = 0
+    min_overflow = np.iinfo(np.int64).max
+    feasible = True
+    for idx, s in enumerate(sizes):
+        s = int(s)
+        if s > bound:
+            feasible = False
+            min_overflow = min(min_overflow, s)
+            break
+        if load + s > bound:
+            min_overflow = min(min_overflow, load + s)
+            boundaries.append(idx)
+            largest = max(largest, load)
+            load = 0
+            if len(boundaries) - 1 >= num_groups:
+                feasible = False
+                break
+        load += s
+    largest = max(largest, load)
+    if not feasible:
+        return None, largest, int(min_overflow)
+    while len(boundaries) < num_groups + 1:
+        boundaries.append(int(sizes.size))
+    return np.asarray(boundaries, dtype=np.int64), largest, int(min_overflow)
+
+
+def optimal_bucket_grouping(
+    bucket_sizes: Sequence[int],
+    num_groups: int,
+    method: str = "accelerated",
+) -> GroupingResult:
+    """Find the minimal load bound ``L`` and the corresponding grouping.
+
+    Parameters
+    ----------
+    bucket_sizes:
+        Global sizes of the ``b*r`` buckets.
+    num_groups:
+        Number of PE groups ``r``.
+    method:
+        ``'binary'`` — plain binary search over the numeric range
+        (the simple sequential algorithm of Section 6);
+        ``'accelerated'`` — binary search with the Appendix C bound updates
+        (lower bound from failed scans, upper bound from successful scans),
+        which converges in far fewer scans;
+        ``'candidates'`` — search restricted to the values that are sums of
+        consecutive buckets (the second Appendix C observation); exact but
+        ``O((b r)^2)`` candidate generation, useful for testing.
+    """
+    sizes = np.asarray(bucket_sizes, dtype=np.int64)
+    if np.any(sizes < 0):
+        raise ValueError("bucket sizes must be non-negative")
+    if num_groups <= 0:
+        raise ValueError("need at least one group")
+    total = int(sizes.sum())
+    if sizes.size == 0 or total == 0:
+        boundaries = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.full(num_groups, sizes.size, dtype=np.int64)]
+        )
+        return GroupingResult(
+            boundaries=boundaries,
+            bound=0,
+            group_loads=np.zeros(num_groups, dtype=np.int64),
+            scan_calls=0,
+        )
+
+    lower = max(int(sizes.max()), int(np.ceil(total / num_groups)))
+    upper = total
+    scan_calls = 0
+    best: Optional[np.ndarray] = None
+    best_bound = upper
+
+    if method == "binary":
+        lo, hi = lower, upper
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            scan_calls += 1
+            boundaries = scan_buckets_with_bound(sizes, num_groups, mid)
+            if boundaries is not None:
+                best, best_bound = boundaries, mid
+                hi = mid - 1
+            else:
+                lo = mid + 1
+    elif method == "accelerated":
+        lo, hi = lower, upper
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            scan_calls += 1
+            boundaries, largest, min_overflow = _scan_observing(sizes, num_groups, mid)
+            if boundaries is not None:
+                best = boundaries
+                best_bound = largest  # tighten to the largest group actually used
+                hi = min(mid, largest) - 1
+            else:
+                lo = max(mid + 1, min_overflow)
+    elif method == "candidates":
+        csum = np.concatenate([[0], np.cumsum(sizes)])
+        candidates = set()
+        for i in range(sizes.size):
+            for j in range(i + 1, sizes.size + 1):
+                value = int(csum[j] - csum[i])
+                if value >= lower:
+                    candidates.add(value)
+        for value in sorted(candidates):
+            scan_calls += 1
+            boundaries = scan_buckets_with_bound(sizes, num_groups, value)
+            if boundaries is not None:
+                best, best_bound = boundaries, value
+                break
+    else:
+        raise ValueError(f"unknown grouping method {method!r}")
+
+    if best is None:
+        # A bound of `total` always succeeds with a single group.
+        scan_calls += 1
+        best = scan_buckets_with_bound(sizes, num_groups, total)
+        best_bound = total
+        assert best is not None
+
+    loads = group_sizes_from_boundaries(sizes, best)
+    return GroupingResult(
+        boundaries=best,
+        bound=int(max(best_bound, loads.max(initial=0))),
+        group_loads=loads,
+        scan_calls=scan_calls,
+    )
+
+
+def optimal_max_load_dp(bucket_sizes: Sequence[int], num_groups: int) -> int:
+    """Exact optimal maximum group load via dynamic programming.
+
+    ``O(r * (br)^2)`` reference used by the test-suite to validate Lemma 1
+    (that the scanning/binary-search approach is optimal).
+    """
+    sizes = np.asarray(bucket_sizes, dtype=np.int64)
+    m = sizes.size
+    if m == 0:
+        return 0
+    csum = np.concatenate([[0], np.cumsum(sizes)])
+    inf = np.iinfo(np.int64).max
+    # dp[g][i]: minimal possible maximum load when the first i buckets are
+    # split into at most g groups.
+    prev = np.where(np.arange(m + 1) == 0, 0, inf).astype(np.int64)
+    prev = np.empty(m + 1, dtype=np.int64)
+    for i in range(m + 1):
+        prev[i] = int(csum[i])  # one group takes everything
+    for g in range(2, num_groups + 1):
+        cur = np.empty(m + 1, dtype=np.int64)
+        cur[0] = 0
+        for i in range(1, m + 1):
+            best = prev[i]
+            for j in range(i):
+                candidate = max(int(prev[j]), int(csum[i] - csum[j]))
+                if candidate < best:
+                    best = candidate
+            cur[i] = best
+        prev = cur
+    return int(prev[m])

@@ -1,0 +1,210 @@
+"""Distributed multisequence selection (Section 4.1, Figure 2).
+
+Given one locally *sorted* array per PE and a set of ``r`` target global
+ranks, find for every PE and every rank a split position such that exactly
+the requested number of elements lies to the left of the splits, and the
+split is order-consistent (no element left of a split is larger than an
+element right of it).
+
+The algorithm is the distributed adaptation of quickselect described in the
+paper:
+
+1. pick a pivot uniformly at random among the remaining candidate elements —
+   the same random number is used on all PEs (replicated randomness), and a
+   prefix sum over the candidate counts locates the owning PE,
+2. every PE performs a binary search for the pivot in its candidate range
+   (``O(log(n/p))`` local work),
+3. a global reduction compares the number of elements ``<=`` pivot with the
+   requested rank and the search continues in the left or right part.
+
+Duplicate keys are handled exactly, without materialising tie-break keys, by
+using the implicit composite key ``(value, PE, position)``: the count of
+elements "``<=`` pivot" on PE ``i`` includes equal elements only when
+``i < q`` (pivot owner) or when ``i == q`` and the position does not exceed
+the pivot's position.  This is precisely the scheme of Appendix D.
+
+All ``r`` selections run simultaneously; every iteration uses a single
+vector-valued reduction of length ``r`` (running time contribution
+``O(r beta + alpha log p)`` per iteration, Equation (1) of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class MultiselectResult:
+    """Result of a distributed multisequence selection.
+
+    Attributes
+    ----------
+    splits:
+        Integer matrix of shape ``(num_ranks, p)``; ``splits[t, i]`` is the
+        number of elements of PE ``i``'s local array that belong to the left
+        part for target rank ``t``.  Row sums equal the requested ranks.
+    iterations:
+        Number of pivot iterations executed (all ranks combined, i.e. the
+        number of collective rounds).
+    """
+
+    splits: np.ndarray
+    iterations: int
+
+    def pieces_for_pe(self, pe: int, local_size: int) -> List[slice]:
+        """Slices of PE ``pe``'s local array delimited by consecutive splits.
+
+        For ``r - 1`` splitting ranks this returns ``r`` slices covering the
+        whole local array.
+        """
+        bounds = [0] + [int(x) for x in self.splits[:, pe]] + [int(local_size)]
+        for a, b in zip(bounds, bounds[1:]):
+            if b < a:
+                raise ValueError("split positions are not monotone")
+        return [slice(a, b) for a, b in zip(bounds, bounds[1:])]
+
+
+def multisequence_select(
+    comm,
+    local_sorted: Sequence[np.ndarray],
+    ranks: Sequence[int],
+    charge_local: bool = True,
+) -> MultiselectResult:
+    """Run the distributed multisequence selection on communicator ``comm``.
+
+    Parameters
+    ----------
+    comm:
+        :class:`repro.sim.comm.Comm` of ``p`` PEs.
+    local_sorted:
+        One individually sorted array per member PE.
+    ranks:
+        Target global ranks, non-decreasing, each in ``0 .. n`` where ``n``
+        is the total number of elements.
+    charge_local:
+        Charge the modelled local binary-search cost (disable for tests that
+        only care about the data result).
+    """
+    p = comm.size
+    if len(local_sorted) != p:
+        raise ValueError("need one sorted array per member PE")
+    runs = [np.asarray(a) for a in local_sorted]
+    for i, a in enumerate(runs):
+        if a.ndim != 1:
+            raise ValueError(f"local array of rank {i} is not one-dimensional")
+        if a.size > 1 and np.any(a[1:] < a[:-1]):
+            raise ValueError(f"local array of rank {i} is not sorted")
+    sizes = np.array([a.size for a in runs], dtype=np.int64)
+    total = int(sizes.sum())
+    ranks_arr = np.asarray(ranks, dtype=np.int64)
+    num_ranks = int(ranks_arr.size)
+    if np.any(ranks_arr < 0) or np.any(ranks_arr > total):
+        raise ValueError(f"ranks must lie in 0..{total}")
+    if num_ranks > 1 and np.any(np.diff(ranks_arr) < 0):
+        raise ValueError("ranks must be non-decreasing")
+
+    # Per-rank candidate windows [lo, hi) on every PE.
+    lo = np.zeros((num_ranks, p), dtype=np.int64)
+    hi = np.tile(sizes, (num_ranks, 1))
+    # Ranks 0 and n are trivially done (empty / full left part).
+    done = np.zeros(num_ranks, dtype=bool)
+    for t, k in enumerate(ranks_arr):
+        if k == 0:
+            hi[t] = 0
+            done[t] = True
+        elif k == total:
+            lo[t] = sizes
+            hi[t] = sizes
+            done[t] = True
+
+    iterations = 0
+    max_iterations = 64 + 4 * int(np.ceil(np.log2(max(total, 2)))) * max(1, num_ranks)
+
+    while not done.all():
+        iterations += 1
+        if iterations > max_iterations + total:
+            raise RuntimeError("multisequence selection failed to converge")
+
+        # --- choose pivots (replicated random choice per active rank) -----
+        pivots = {}
+        for t in range(num_ranks):
+            if done[t]:
+                continue
+            widths = hi[t] - lo[t]
+            remaining = int(widths.sum())
+            if remaining == 0:
+                # Window collapsed; the committed left part must match the rank.
+                if int(lo[t].sum()) != int(ranks_arr[t]):
+                    raise RuntimeError("multiselect window collapsed at wrong rank")
+                done[t] = True
+                continue
+            u = int(comm.rng.integers(0, remaining))
+            csum = np.cumsum(widths)
+            q = int(np.searchsorted(csum, u, side="right"))
+            offset = u - (int(csum[q - 1]) if q > 0 else 0)
+            pos = int(lo[t, q] + offset)
+            pivots[t] = (runs[q][pos], q, pos)
+        if not pivots:
+            continue
+
+        # --- local counting: elements <= pivot inside the candidate window --
+        counts = np.zeros((num_ranks, p), dtype=np.int64)
+        search_ops = np.zeros(p, dtype=np.int64)
+        for t, (pv, q, pos) in a_items(pivots):
+            for i in range(p):
+                lo_i, hi_i = int(lo[t, i]), int(hi[t, i])
+                if hi_i <= lo_i:
+                    continue
+                window = runs[i][lo_i:hi_i]
+                if i < q:
+                    cnt = int(np.searchsorted(window, pv, side="right"))
+                elif i > q:
+                    cnt = int(np.searchsorted(window, pv, side="left"))
+                else:
+                    cnt = pos - lo_i + 1
+                counts[t, i] = cnt
+                search_ops[i] += 1
+        if charge_local:
+            comm.charge_local_many(
+                [
+                    comm.spec.comparison_ns
+                    * 1e-9
+                    * float(ops)
+                    * max(1.0, np.log2(max(int(s), 2)))
+                    for ops, s in zip(search_ops, sizes)
+                ]
+            )
+
+        # --- one vector-valued all-reduce over all active ranks -----------
+        totals = comm.allreduce_vec([counts[:, i] for i in range(p)])
+
+        # --- narrow the candidate windows ---------------------------------
+        for t, (pv, q, pos) in a_items(pivots):
+            target = int(ranks_arr[t] - lo[t].sum())
+            got = int(totals[t])
+            if got <= target:
+                # Everything <= pivot belongs to the left part.
+                lo[t] += counts[t]
+                if got == target:
+                    hi[t] = lo[t]
+                    done[t] = True
+            else:
+                # The left part is strictly inside the counted region; the
+                # pivot itself (the largest counted element) is excluded.
+                hi[t] = lo[t] + counts[t]
+                hi[t, q] -= 1
+
+    splits = lo
+    # Sanity: row sums equal requested ranks.
+    sums = splits.sum(axis=1)
+    if not np.array_equal(sums, ranks_arr):
+        raise RuntimeError("multisequence selection produced wrong rank sums")
+    return MultiselectResult(splits=splits, iterations=iterations)
+
+
+def a_items(d):
+    """Deterministically ordered ``dict.items()`` (by key)."""
+    return sorted(d.items())

@@ -1,0 +1,153 @@
+"""Sampling parameters and distributed sample drawing for AMS-sort.
+
+AMS-sort (Section 6) chooses a random sample controlled by two tuning
+parameters:
+
+* the **oversampling factor** ``a`` — more samples per splitter improve the
+  accuracy of every splitter,
+* the **overpartitioning factor** ``b`` — the algorithm creates ``b * r``
+  buckets but only ``r`` PE groups, which lets the bucket-grouping step
+  compensate sampling noise and reduces the required sample size for an
+  ``eps`` imbalance from ``O(1/eps^2)`` to ``O(1/eps)`` (Lemma 2).
+
+The paper's experiments use ``b = 16`` and ``a = 1.6 * log10(n)``
+(Section 7.2); Figure 10/11 sweep ``a`` and ``b``.  The helpers here
+reproduce that parameterisation and draw the per-PE samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+def default_oversampling(n_total: int) -> float:
+    """The oversampling factor used in the paper's experiments: ``1.6 * log10(n)``."""
+    if n_total <= 1:
+        return 1.0
+    return max(1.0, 1.6 * math.log10(n_total))
+
+
+@dataclass(frozen=True)
+class SamplingParams:
+    """Sampling configuration for one level of AMS-sort.
+
+    Attributes
+    ----------
+    oversampling:
+        The factor ``a``.
+    overpartitioning:
+        The factor ``b`` (``b = 1`` disables overpartitioning and recovers a
+        classic sample sort splitter selection).
+    per_pe:
+        If True (the paper's implementation), every PE contributes
+        ``ceil(a * b)`` samples, i.e. the total sample has ``~ a*b*p``
+        elements.  If False (the theoretical variant of Section 6), the
+        *global* sample has ``ceil(a * b * r)`` elements, spread evenly over
+        the PEs.
+    """
+
+    oversampling: float = 8.0
+    overpartitioning: int = 16
+    per_pe: bool = True
+
+    def __post_init__(self) -> None:
+        if self.oversampling <= 0:
+            raise ValueError("oversampling factor a must be positive")
+        if self.overpartitioning < 1:
+            raise ValueError("overpartitioning factor b must be at least 1")
+
+    # ------------------------------------------------------------------
+    def num_buckets(self, r: int) -> int:
+        """Number of buckets ``b * r`` created at a level with ``r`` groups."""
+        if r < 1:
+            raise ValueError("need at least one group")
+        return int(self.overpartitioning) * int(r)
+
+    def num_splitters(self, r: int) -> int:
+        """Number of splitters ``b*r - 1``."""
+        return max(0, self.num_buckets(r) - 1)
+
+    def samples_per_pe(self, p: int, r: int) -> int:
+        """Number of sample elements each PE contributes."""
+        if p < 1:
+            raise ValueError("need at least one PE")
+        if self.per_pe:
+            return max(1, int(math.ceil(self.oversampling * self.overpartitioning)))
+        total = int(math.ceil(self.oversampling * self.overpartitioning * r))
+        return max(1, int(math.ceil(total / p)))
+
+    def total_samples(self, p: int, r: int) -> int:
+        """Total size of the sample over all PEs."""
+        return self.samples_per_pe(p, r) * p
+
+    @staticmethod
+    def paper_defaults(n_total: int, overpartitioning: int = 16) -> "SamplingParams":
+        """The configuration used in Section 7.2 of the paper."""
+        return SamplingParams(
+            oversampling=default_oversampling(n_total),
+            overpartitioning=overpartitioning,
+            per_pe=True,
+        )
+
+    @staticmethod
+    def theory(eps: float, r: int) -> "SamplingParams":
+        """Theoretical parameter choice of Lemma 2: ``b = Theta(1/eps)``, ``ab = Theta(log r)``."""
+        if eps <= 0:
+            raise ValueError("imbalance eps must be positive")
+        b = max(1, int(math.ceil(2.0 / eps)))
+        ab = max(float(b), math.log(max(r, 2)) * 2.0)
+        a = max(1.0, ab / b)
+        return SamplingParams(oversampling=a, overpartitioning=b, per_pe=False)
+
+
+def draw_local_sample(
+    values: np.ndarray, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``count`` random sample elements from one PE's local data.
+
+    Sampling is with replacement when ``count`` exceeds the local size (this
+    can only happen for tiny inputs) and without replacement otherwise, which
+    matches the behaviour of drawing random positions in the local array.
+    An empty local array contributes an empty sample.
+    """
+    values = np.asarray(values)
+    if count <= 0 or values.size == 0:
+        return values[:0].copy()
+    if count >= values.size:
+        idx = rng.integers(0, values.size, size=count)
+    else:
+        idx = rng.choice(values.size, size=count, replace=False)
+    return values[idx].copy()
+
+
+def draw_samples(
+    local_data: Sequence[np.ndarray],
+    params: SamplingParams,
+    p: int,
+    r: int,
+    rngs: Sequence[np.random.Generator],
+) -> List[np.ndarray]:
+    """Draw the per-PE samples for one AMS-sort level.
+
+    ``rngs`` must contain one generator per PE (PE-local randomness).
+    """
+    if len(local_data) != p or len(rngs) != p:
+        raise ValueError("need one local array and one RNG per PE")
+    per_pe = params.samples_per_pe(p, r)
+    return [draw_local_sample(np.asarray(d), per_pe, g) for d, g in zip(local_data, rngs)]
+
+
+def splitter_ranks(sample_size: int, num_splitters: int) -> np.ndarray:
+    """Equidistant ranks used to pick splitters from the sorted sample.
+
+    Splitter ``i`` (``0 <= i < num_splitters``) is the sample element of rank
+    ``floor((i + 1) * sample_size / (num_splitters + 1))`` (0-based, clamped).
+    """
+    if num_splitters <= 0 or sample_size <= 0:
+        return np.empty(0, dtype=np.int64)
+    ranks = ((np.arange(1, num_splitters + 1) * sample_size) // (num_splitters + 1))
+    return np.clip(ranks, 0, sample_size - 1).astype(np.int64)

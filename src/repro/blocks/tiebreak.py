@@ -1,0 +1,126 @@
+"""Implicit tie breaking via composite ``(key, PE, position)`` keys (Appendix D).
+
+The paper assumes unique keys w.l.o.g. by conceptually replacing a key ``x``
+with the triple ``(x, i, j)`` where ``i`` is the PE the element was input on
+and ``j`` its position in the input array.  Appendix D explains how AMS-sort
+avoids materialising the triple for most elements (only elements equal to a
+splitter ever need the full comparison).
+
+Our distributed algorithms handle duplicates natively (the multiselect and
+partition primitives distribute equal elements deterministically by PE
+index), so tie breaking is not required for correctness.  This module still
+provides the explicit encoding because
+
+* it reproduces Appendix D,
+* examples that must produce a *stable* global sort (e.g. sorting records by
+  a possibly-duplicated key while preserving input order) use it, and
+* property-based tests use it to compare against a plain stable sort oracle.
+
+For integer keys with enough headroom the composite key is packed into a
+single ``int64`` (``key * 2^bits + global_index``), which keeps the element a
+single machine word as the paper requires.  Otherwise a structured array with
+``key`` and ``tag`` fields is returned.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+#: dtype of the structured fallback representation.
+STRUCTURED_DTYPE = np.dtype([("key", np.float64), ("tag", np.int64)])
+
+
+def _global_offsets(local_sizes: Sequence[int]) -> np.ndarray:
+    sizes = np.asarray(list(local_sizes), dtype=np.int64)
+    offsets = np.zeros(sizes.size, dtype=np.int64)
+    if sizes.size > 1:
+        offsets[1:] = np.cumsum(sizes)[:-1]
+    return offsets
+
+
+def can_encode_inline(local_data: Sequence[np.ndarray]) -> bool:
+    """True when the composite keys fit into a single signed 64-bit integer."""
+    total = int(sum(np.asarray(d).size for d in local_data))
+    if total == 0:
+        return True
+    bits_needed = int(np.ceil(np.log2(max(total, 2))))
+    for d in local_data:
+        d = np.asarray(d)
+        if d.size == 0:
+            continue
+        if not np.issubdtype(d.dtype, np.integer):
+            return False
+        lo, hi = int(d.min()), int(d.max())
+        span_bits = 63 - bits_needed
+        if hi >= (1 << (span_bits - 1)) or lo < -(1 << (span_bits - 1)):
+            return False
+    return True
+
+
+def make_unique_keys(
+    local_data: Sequence[np.ndarray],
+) -> Tuple[List[np.ndarray], dict]:
+    """Replace per-PE keys with unique composite keys.
+
+    Returns ``(unique_data, info)`` where ``info`` holds what is needed to
+    undo the transformation with :func:`strip_tiebreak`.  Ordering of the
+    composite keys is the lexicographic ordering of ``(key, PE, position)``.
+    """
+    arrays = [np.asarray(d) for d in local_data]
+    sizes = [int(a.size) for a in arrays]
+    offsets = _global_offsets(sizes)
+    total = int(sum(sizes))
+    if can_encode_inline(arrays):
+        bits = int(np.ceil(np.log2(max(total, 2))))
+        factor = np.int64(1) << np.int64(bits)
+        out: List[np.ndarray] = []
+        for a, off in zip(arrays, offsets):
+            idx = np.arange(a.size, dtype=np.int64) + off
+            out.append(a.astype(np.int64) * factor + idx)
+        info = {"mode": "inline", "bits": bits, "sizes": sizes}
+        return out, info
+    out = []
+    for a, off in zip(arrays, offsets):
+        rec = np.empty(a.size, dtype=STRUCTURED_DTYPE)
+        rec["key"] = a.astype(np.float64)
+        rec["tag"] = np.arange(a.size, dtype=np.int64) + off
+        out.append(rec)
+    info = {"mode": "structured", "bits": 0, "sizes": sizes}
+    return out, info
+
+
+def strip_tiebreak(data: Sequence[np.ndarray], info: dict) -> List[np.ndarray]:
+    """Recover the original keys from composite keys produced by :func:`make_unique_keys`."""
+    mode = info.get("mode")
+    out: List[np.ndarray] = []
+    if mode == "inline":
+        factor = np.int64(1) << np.int64(info["bits"])
+        for a in data:
+            a = np.asarray(a, dtype=np.int64)
+            out.append(np.floor_divide(a, factor))
+        return out
+    if mode == "structured":
+        for a in data:
+            out.append(np.asarray(a)["key"].copy())
+        return out
+    raise ValueError(f"unknown tie-break mode {mode!r}")
+
+
+def original_positions(data: Sequence[np.ndarray], info: dict) -> List[np.ndarray]:
+    """Global input positions encoded in composite keys (for stability checks)."""
+    mode = info.get("mode")
+    out: List[np.ndarray] = []
+    if mode == "inline":
+        factor = np.int64(1) << np.int64(info["bits"])
+        for a in data:
+            a = np.asarray(a, dtype=np.int64)
+            out.append(np.mod(a, factor))
+        return out
+    if mode == "structured":
+        for a in data:
+            out.append(np.asarray(a)["tag"].copy())
+        return out
+    raise ValueError(f"unknown tie-break mode {mode!r}")

@@ -1,0 +1,52 @@
+"""The paper's sorting algorithms and their configuration.
+
+* :func:`repro.core.ams_sort.ams_sort` — Adaptive Multi-level Sample sort
+  (AMS-sort, Section 6),
+* :func:`repro.core.rlm_sort.rlm_sort` — Recurse Last Multiway Mergesort
+  (RLM-sort, Section 5),
+* :mod:`repro.core.baselines` — single-level comparators: classic sample
+  sort with centralized splitter selection, single-level multiway mergesort
+  ("MP-sort style") and a recursive parallel quicksort,
+* :mod:`repro.core.config` — algorithm configuration, including the group
+  count (``r``) plan per recursion level used in the paper's weak scaling
+  experiments (Table 1),
+* :mod:`repro.core.runner` — a convenience driver that builds a simulated
+  machine, distributes the input, runs an algorithm, validates the output
+  and collects phase/traffic statistics,
+* :mod:`repro.core.validation` — output checks (global sortedness,
+  permutation preservation, imbalance).
+"""
+
+from repro.core.config import AMSConfig, RLMConfig, level_plan
+from repro.core.ams_sort import ams_sort
+from repro.core.rlm_sort import rlm_sort
+from repro.core.baselines import (
+    single_level_sample_sort,
+    single_level_mergesort,
+    parallel_quicksort,
+)
+from repro.core.runner import SortResult, run_on_machine, sort_array
+from repro.core.validation import (
+    check_globally_sorted,
+    check_permutation,
+    output_imbalance,
+    validate_output,
+)
+
+__all__ = [
+    "AMSConfig",
+    "RLMConfig",
+    "level_plan",
+    "ams_sort",
+    "rlm_sort",
+    "single_level_sample_sort",
+    "single_level_mergesort",
+    "parallel_quicksort",
+    "SortResult",
+    "run_on_machine",
+    "sort_array",
+    "check_globally_sorted",
+    "check_permutation",
+    "output_imbalance",
+    "validate_output",
+]

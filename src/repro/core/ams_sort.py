@@ -1,0 +1,233 @@
+"""Adaptive Multi-level Sample sort (AMS-sort), Section 6 of the paper.
+
+One level of AMS-sort on a group of ``p`` PEs that is to be split into ``r``
+sub-groups:
+
+1. **Splitter selection** — every PE contributes a random sample
+   (oversampling factor ``a``, overpartitioning factor ``b``); the sample is
+   sorted with the fast work-inefficient grid sort (Section 4.2) and
+   ``b*r - 1`` splitters of equidistant ranks are broadcast to all PEs.
+2. **Bucket processing** — every PE partitions its local data into the
+   ``b*r`` buckets (super scalar sample sort style partitioning); a global
+   all-reduce yields the global bucket sizes, and the optimal scanning
+   algorithm (Lemma 1 / Appendix C) assigns consecutive bucket ranges to the
+   ``r`` PE groups such that the maximum group load is minimised.
+3. **Data delivery** — the per-group pieces are delivered with one of the
+   algorithms of Section 4.3 / Appendix A so that all PEs of a group receive
+   the same amount of data up to rounding and the number of message
+   startups per PE stays ``O(r)``.
+4. **Recursion** — each group recursively sorts its data; on a single PE the
+   recursion bottoms out with a local sort.
+
+The result is a globally sorted distributed array with at most a
+``(1 + eps)`` output imbalance (Theorem 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.blocks.delivery import deliver_to_groups
+from repro.blocks.fast_sort import select_splitters_by_rank
+from repro.blocks.grouping import optimal_bucket_grouping
+from repro.blocks.sampling import SamplingParams, draw_local_sample, splitter_ranks
+from repro.core.config import AMSConfig
+from repro.machine.counters import (
+    PHASE_BUCKET_PROCESSING,
+    PHASE_DATA_DELIVERY,
+    PHASE_LOCAL_SORT,
+    PHASE_SPLITTER_SELECTION,
+)
+from repro.seq.partition import bucket_indices
+
+
+def _centralized_splitters(comm, samples: List[np.ndarray], num_splitters: int) -> np.ndarray:
+    """Centralized splitter selection (gather + sort + broadcast).
+
+    This is the scheme of the earlier multi-level sample sort of
+    Gerbessiotis and Valiant which AMS-sort replaces with the fast parallel
+    sample sort; kept as an option for comparison experiments.
+    """
+    with comm.phase(PHASE_SPLITTER_SELECTION):
+        gathered = comm.gather(samples, root=0,
+                               words_each=max(1, int(np.mean([s.size for s in samples]))))
+        sample = np.concatenate([np.asarray(s) for s in gathered if np.asarray(s).size > 0]) \
+            if any(np.asarray(s).size for s in gathered) else np.empty(0)
+        sample = np.sort(sample, kind="stable")
+        comm.charge_local(0, comm.spec.local_sort_time(int(sample.size)))
+        if num_splitters <= 0 or sample.size == 0:
+            splitters = sample[:0]
+        else:
+            ranks = splitter_ranks(int(sample.size), num_splitters)
+            splitters = sample[ranks]
+        comm.bcast(splitters, root=0, words=int(splitters.size))
+    return splitters
+
+
+def _partition_into_group_pieces(
+    comm,
+    local_data: List[np.ndarray],
+    splitters: np.ndarray,
+    boundaries: np.ndarray,
+    r: int,
+) -> List[List[np.ndarray]]:
+    """Partition each PE's data into ``r`` pieces according to bucket boundaries.
+
+    ``boundaries`` delimits which buckets belong to which group; elements are
+    routed by a single ``searchsorted`` against the splitters, then gathered
+    per group.  The modelled cost of the partition is charged here.
+    """
+    p = comm.size
+    num_buckets = int(splitters.size) + 1
+    pieces: List[List[np.ndarray]] = []
+    partition_sizes = []
+    for i in range(p):
+        data = np.asarray(local_data[i])
+        partition_sizes.append(int(data.size))
+        if splitters.size == 0:
+            bucket_of = np.zeros(data.size, dtype=np.int64)
+        else:
+            bucket_of = bucket_indices(data, splitters)
+        # Map bucket index -> group index using the grouping boundaries.
+        group_of = np.searchsorted(boundaries[1:-1], bucket_of, side="right") \
+            if boundaries.size > 2 else np.zeros(data.size, dtype=np.int64)
+        pe_pieces = []
+        for g in range(r):
+            pe_pieces.append(data[group_of == g])
+        pieces.append(pe_pieces)
+    comm.charge_partition(partition_sizes, max(2, num_buckets))
+    return pieces
+
+
+def ams_sort(
+    comm,
+    local_data: Sequence[np.ndarray],
+    config: Optional[AMSConfig] = None,
+    level: int = 0,
+    _plan: Optional[List[int]] = None,
+    _n_total: Optional[int] = None,
+) -> List[np.ndarray]:
+    """Sort a distributed array with AMS-sort.
+
+    Parameters
+    ----------
+    comm:
+        Communicator over the PEs holding the data.
+    local_data:
+        One array per member PE.
+    config:
+        :class:`AMSConfig`; defaults to two levels with the paper's sampling
+        parameters.
+    level:
+        Internal recursion level (leave at 0).
+
+    Returns
+    -------
+    list of numpy.ndarray
+        The sorted output, one array per member PE (ordered by PE).
+    """
+    if config is None:
+        config = AMSConfig()
+    p = comm.size
+    if len(local_data) != p:
+        raise ValueError("need one local array per member PE")
+    local_data = [np.asarray(d) for d in local_data]
+
+    # ------------------------------------------------------------------
+    # Base case: a single PE sorts locally.
+    # ------------------------------------------------------------------
+    if p == 1:
+        with comm.phase(PHASE_LOCAL_SORT):
+            out = np.sort(local_data[0], kind="stable")
+            comm.charge_sort([out.size])
+        return [out]
+
+    if _plan is None:
+        _plan = config.plan_for(p)
+    if _n_total is None:
+        _n_total = int(sum(d.size for d in local_data))
+
+    # Number of groups for this level (never more than the PEs available).
+    if level < len(_plan):
+        r = min(int(_plan[level]), p)
+    else:
+        r = p
+    r = max(2, min(r, p)) if p > 1 else 1
+
+    sampling = config.sampling_for(max(_n_total, 2))
+    num_buckets = sampling.num_buckets(r)
+    num_splitters = sampling.num_splitters(r)
+
+    # ------------------------------------------------------------------
+    # 1. Splitter selection
+    # ------------------------------------------------------------------
+    with comm.phase(PHASE_SPLITTER_SELECTION):
+        per_pe = sampling.samples_per_pe(p, r)
+        samples = [
+            draw_local_sample(local_data[i], per_pe, comm.pe_rng(i)) for i in range(p)
+        ]
+    if config.use_fast_sample_sort:
+        splitters = select_splitters_by_rank(
+            comm, samples, num_splitters, phase=PHASE_SPLITTER_SELECTION
+        )
+    else:
+        splitters = _centralized_splitters(comm, samples, num_splitters)
+
+    # ------------------------------------------------------------------
+    # 2. Bucket processing: partition, global bucket sizes, bucket grouping
+    # ------------------------------------------------------------------
+    with comm.phase(PHASE_BUCKET_PROCESSING):
+        local_bucket_sizes = []
+        for i in range(p):
+            data = local_data[i]
+            if splitters.size == 0:
+                counts = np.array([data.size], dtype=np.int64)
+            else:
+                idx = bucket_indices(data, splitters)
+                counts = np.bincount(idx, minlength=splitters.size + 1).astype(np.int64)
+            local_bucket_sizes.append(counts)
+        global_bucket_sizes = comm.allreduce_vec(local_bucket_sizes)
+        grouping = optimal_bucket_grouping(global_bucket_sizes, r, method="accelerated")
+        # The parallel bound search of Appendix C costs O(br + alpha log p);
+        # charge one extra small collective per search round.
+        comm.allreduce_scalar([float(grouping.bound)] * p, op=np.max)
+        pieces = _partition_into_group_pieces(
+            comm, list(local_data), splitters, grouping.boundaries, r
+        )
+
+    # ------------------------------------------------------------------
+    # 3. Data delivery
+    # ------------------------------------------------------------------
+    groups = comm.split(r)
+    delivery = deliver_to_groups(
+        comm,
+        groups,
+        pieces,
+        method=config.delivery,
+        seed=comm.machine.seed + level + 1,
+        phase=PHASE_DATA_DELIVERY,
+        schedule=config.exchange_schedule,
+    )
+
+    # ------------------------------------------------------------------
+    # 4. Recursion within each group
+    # ------------------------------------------------------------------
+    output: List[np.ndarray] = [None] * p  # type: ignore[list-item]
+    for g, group in enumerate(groups):
+        group_rank_offset = comm.local_rank_of(int(group.members[0]))
+        group_local = [
+            delivery.received_concat(group_rank_offset + j) for j in range(group.size)
+        ]
+        sorted_group = ams_sort(
+            group,
+            group_local,
+            config=config,
+            level=level + 1,
+            _plan=_plan,
+            _n_total=_n_total,
+        )
+        for j in range(group.size):
+            output[group_rank_offset + j] = sorted_group[j]
+    return output

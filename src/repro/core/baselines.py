@@ -1,0 +1,237 @@
+"""Single-level baseline algorithms the paper compares against.
+
+* :func:`single_level_sample_sort` — classic parallel sample sort [6]:
+  centralized splitter selection (gather the sample, sort it on one PE,
+  broadcast ``p - 1`` splitters), a direct all-to-all exchange with up to
+  ``p - 1`` message startups per PE, and a final local sort.  Its
+  isoefficiency function is ``Omega(p^2 / log p)`` — the scalability gap the
+  multi-level algorithms close.
+* :func:`single_level_mergesort` — single-level multiway mergesort in the
+  style of MP-sort [12] (Section 7.3): local sort, exact ``p``-way
+  splitting via multisequence selection, direct all-to-all exchange, and a
+  final local merge (or, like MP-sort, a local sort from scratch).
+* :func:`parallel_quicksort` — recursive parallel quicksort [19]: the PEs
+  are repeatedly split into two halves around a pivot, moving all data once
+  per level for ``log2 p`` levels.  It represents the "prohibitive
+  communication volume" end of the design space discussed in the
+  introduction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.blocks.delivery import deliver_to_groups
+from repro.blocks.multiselect import multisequence_select
+from repro.blocks.sampling import draw_local_sample, splitter_ranks
+from repro.machine.counters import (
+    PHASE_BUCKET_PROCESSING,
+    PHASE_DATA_DELIVERY,
+    PHASE_LOCAL_SORT,
+    PHASE_SPLITTER_SELECTION,
+)
+from repro.seq.merge import merge_runs_numpy
+from repro.seq.partition import bucket_indices
+
+
+def single_level_sample_sort(
+    comm,
+    local_data: Sequence[np.ndarray],
+    oversampling: int = 16,
+    schedule: str = "dense",
+) -> List[np.ndarray]:
+    """Classic single-level sample sort with centralized splitter selection.
+
+    Parameters
+    ----------
+    oversampling:
+        Number of samples per PE; the root picks ``p - 1`` equidistant
+        splitters from the gathered, sorted sample.
+    schedule:
+        ``'dense'`` models a plain ``MPI_Alltoallv`` (``p - 1`` startups per
+        PE) which is the behaviour the paper attributes to single-level
+        algorithms; ``'sparse'`` skips empty messages.
+    """
+    p = comm.size
+    if len(local_data) != p:
+        raise ValueError("need one local array per member PE")
+    local_data = [np.asarray(d) for d in local_data]
+    if p == 1:
+        with comm.phase(PHASE_LOCAL_SORT):
+            out = np.sort(local_data[0], kind="stable")
+            comm.charge_sort([out.size])
+        return [out]
+
+    # --- centralized splitter selection -------------------------------
+    with comm.phase(PHASE_SPLITTER_SELECTION):
+        samples = [
+            draw_local_sample(local_data[i], oversampling, comm.pe_rng(i)) for i in range(p)
+        ]
+        gathered = comm.gather(samples, root=0, words_each=oversampling)
+        pieces = [np.asarray(s) for s in gathered if np.asarray(s).size > 0]
+        sample = np.sort(np.concatenate(pieces), kind="stable") if pieces else np.empty(0)
+        comm.charge_local(0, comm.spec.local_sort_time(int(sample.size)))
+        if sample.size == 0:
+            splitters = sample[:0]
+        else:
+            ranks = splitter_ranks(int(sample.size), p - 1)
+            splitters = sample[ranks]
+        comm.bcast(splitters, root=0, words=int(splitters.size))
+
+    # --- partition into p buckets --------------------------------------
+    with comm.phase(PHASE_BUCKET_PROCESSING):
+        pieces_per_pe: List[List[np.ndarray]] = []
+        for i in range(p):
+            data = local_data[i]
+            if splitters.size == 0:
+                dest = np.zeros(data.size, dtype=np.int64)
+            else:
+                dest = bucket_indices(data, splitters)
+            pieces_per_pe.append([data[dest == j] for j in range(p)])
+        comm.charge_partition([d.size for d in local_data], p)
+
+    # --- direct all-to-all exchange ------------------------------------
+    groups = comm.split(p)  # every PE is its own group
+    delivery = deliver_to_groups(
+        comm, groups, pieces_per_pe, method="naive",
+        phase=PHASE_DATA_DELIVERY, schedule=schedule,
+    )
+
+    # --- final local sort ------------------------------------------------
+    with comm.phase(PHASE_LOCAL_SORT):
+        output = []
+        for i in range(p):
+            data = delivery.received_concat(i)
+            output.append(np.sort(data, kind="stable"))
+        comm.charge_sort([o.size for o in output])
+    return output
+
+
+def single_level_mergesort(
+    comm,
+    local_data: Sequence[np.ndarray],
+    merge_received: bool = True,
+    schedule: str = "dense",
+) -> List[np.ndarray]:
+    """Single-level multiway mergesort (perfect splitting, MP-sort style).
+
+    ``merge_received=False`` re-sorts the received data from scratch instead
+    of merging the received runs — this mimics MP-sort, which "implements
+    local multiway merging by sorting from scratch" (Section 7.3).
+    """
+    p = comm.size
+    if len(local_data) != p:
+        raise ValueError("need one local array per member PE")
+    local_data = [np.asarray(d) for d in local_data]
+
+    with comm.phase(PHASE_LOCAL_SORT):
+        local_sorted = [np.sort(d, kind="stable") for d in local_data]
+        comm.charge_sort([d.size for d in local_data])
+
+    if p == 1:
+        return [local_sorted[0]]
+
+    n_total = int(sum(d.size for d in local_sorted))
+
+    with comm.phase(PHASE_SPLITTER_SELECTION):
+        ranks = [(g * n_total) // p for g in range(1, p)]
+        selection = multisequence_select(comm, local_sorted, ranks)
+
+    pieces: List[List[np.ndarray]] = []
+    for i in range(p):
+        slices = selection.pieces_for_pe(i, int(local_sorted[i].size))
+        pieces.append([local_sorted[i][s] for s in slices])
+
+    groups = comm.split(p)
+    delivery = deliver_to_groups(
+        comm, groups, pieces, method="naive",
+        phase=PHASE_DATA_DELIVERY, schedule=schedule,
+    )
+
+    with comm.phase(PHASE_BUCKET_PROCESSING):
+        output: List[np.ndarray] = []
+        sizes = []
+        ways = []
+        for i in range(p):
+            runs = delivery.received[i]
+            if merge_received:
+                out = merge_runs_numpy(runs)
+            else:
+                out = delivery.received_concat(i)
+                out = np.sort(out, kind="stable")
+            output.append(out)
+            sizes.append(int(out.size))
+            ways.append(max(2, len([x for x in runs if x.size > 0])))
+        if merge_received:
+            comm.charge_merge(sizes, ways)
+        else:
+            comm.charge_sort(sizes)
+    return output
+
+
+def parallel_quicksort(
+    comm,
+    local_data: Sequence[np.ndarray],
+    oversampling: int = 16,
+    _presorted: bool = False,
+    seed_offset: int = 0,
+) -> List[np.ndarray]:
+    """Recursive parallel quicksort: split the PEs in two around a pivot.
+
+    Every element is moved ``Theta(log p)`` times, which is exactly the
+    "prohibitive communication volume" regime the introduction of the paper
+    describes for parallelised classic algorithms.  Output balance is only
+    approximate because the pivot splits the data, not the PE count.
+    """
+    p = comm.size
+    if len(local_data) != p:
+        raise ValueError("need one local array per member PE")
+    local_data = [np.asarray(d) for d in local_data]
+
+    if p == 1:
+        with comm.phase(PHASE_LOCAL_SORT):
+            out = np.sort(local_data[0], kind="stable")
+            comm.charge_sort([out.size])
+        return [out]
+
+    # --- pivot selection from a small sample ---------------------------
+    with comm.phase(PHASE_SPLITTER_SELECTION):
+        samples = [
+            draw_local_sample(local_data[i], oversampling, comm.pe_rng(i)) for i in range(p)
+        ]
+        gathered = comm.allgather_arrays(samples, merge_sorted=True)
+        if gathered.size == 0:
+            pivot = None
+        else:
+            pivot = gathered[gathered.size // 2]
+
+    # --- partition into two pieces and deliver to two halves -----------
+    with comm.phase(PHASE_BUCKET_PROCESSING):
+        pieces: List[List[np.ndarray]] = []
+        for i in range(p):
+            data = local_data[i]
+            if pivot is None:
+                pieces.append([data, data[:0]])
+            else:
+                mask = data <= pivot
+                pieces.append([data[mask], data[~mask]])
+        comm.charge_partition([d.size for d in local_data], 2)
+
+    groups = comm.split(2)
+    delivery = deliver_to_groups(
+        comm, groups, pieces, method="naive", phase=PHASE_DATA_DELIVERY,
+        seed=seed_offset,
+    )
+
+    output: List[np.ndarray] = [None] * p  # type: ignore[list-item]
+    for g, group in enumerate(groups):
+        offset = comm.local_rank_of(int(group.members[0]))
+        group_local = [delivery.received_concat(offset + j) for j in range(group.size)]
+        sorted_group = parallel_quicksort(
+            group, group_local, oversampling=oversampling, seed_offset=seed_offset + 1
+        )
+        for j in range(group.size):
+            output[offset + j] = sorted_group[j]
+    return output

@@ -1,0 +1,165 @@
+"""Recurse Last Multiway Mergesort (RLM-sort), Section 5 of the paper.
+
+One level of RLM-sort on a group of ``p`` PEs to be split into ``r``
+sub-groups:
+
+1. **Local sort** — every PE sorts its local data (only at the first level;
+   deeper levels receive data that is already locally sorted because the
+   received runs were merged).
+2. **Splitter selection** — a distributed multisequence selection
+   (Section 4.1) computes, for every PE, split positions such that the
+   ``r`` resulting parts have *exactly* equal global sizes (perfect
+   splitting: this is what distinguishes RLM-sort from AMS-sort).
+3. **Data delivery** — the parts are delivered to the ``r`` PE groups
+   (Section 4.3).
+4. **Bucket processing** — every PE merges the sorted runs it received.
+5. **Recursion** — each group recursively applies the next level; a single
+   PE is already done because its data is sorted after the merge.
+
+Theorem 2 gives the running time; the isoefficiency function is
+``O(p^(1 + 1/k) log p)``, a ``log^2 p`` factor worse than AMS-sort, which the
+slowdown experiment (Figure 7) makes visible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.blocks.delivery import deliver_to_groups
+from repro.blocks.multiselect import multisequence_select
+from repro.core.config import RLMConfig
+from repro.machine.counters import (
+    PHASE_BUCKET_PROCESSING,
+    PHASE_DATA_DELIVERY,
+    PHASE_LOCAL_SORT,
+    PHASE_SPLITTER_SELECTION,
+)
+from repro.seq.merge import merge_runs_numpy
+
+
+def rlm_sort(
+    comm,
+    local_data: Sequence[np.ndarray],
+    config: Optional[RLMConfig] = None,
+    level: int = 0,
+    _plan: Optional[List[int]] = None,
+    _presorted: bool = False,
+) -> List[np.ndarray]:
+    """Sort a distributed array with RLM-sort.
+
+    Parameters
+    ----------
+    comm:
+        Communicator over the PEs holding the data.
+    local_data:
+        One array per member PE.
+    config:
+        :class:`RLMConfig`; defaults to two levels.
+    level:
+        Internal recursion level (leave at 0).
+    _presorted:
+        Internal flag: the local arrays are already sorted (deeper levels).
+
+    Returns
+    -------
+    list of numpy.ndarray
+        The sorted output, one array per member PE.  The output is perfectly
+        balanced: every PE holds ``floor(n/p)`` or ``ceil(n/p)`` elements.
+    """
+    if config is None:
+        config = RLMConfig()
+    p = comm.size
+    if len(local_data) != p:
+        raise ValueError("need one local array per member PE")
+    local_data = [np.asarray(d) for d in local_data]
+
+    # ------------------------------------------------------------------
+    # Local sorting (first level only)
+    # ------------------------------------------------------------------
+    if not _presorted:
+        with comm.phase(PHASE_LOCAL_SORT):
+            local_sorted = [np.sort(d, kind="stable") for d in local_data]
+            comm.charge_sort([d.size for d in local_data])
+    else:
+        local_sorted = [d for d in local_data]
+
+    if p == 1:
+        return [local_sorted[0].copy() if _presorted else local_sorted[0]]
+
+    if _plan is None:
+        _plan = config.plan_for(p)
+    if level < len(_plan):
+        r = min(int(_plan[level]), p)
+    else:
+        r = p
+    r = max(2, min(r, p))
+
+    n_total = int(sum(d.size for d in local_sorted))
+    groups = comm.split(r)
+
+    # ------------------------------------------------------------------
+    # Splitter selection: exact multisequence selection at ranks
+    # proportional to the group sizes (equal to i*n/r when p divides evenly),
+    # so every PE ends up with n/p elements regardless of rounding.
+    # ------------------------------------------------------------------
+    with comm.phase(PHASE_SPLITTER_SELECTION):
+        cumulative_pes = np.cumsum([g.size for g in groups])
+        ranks = [int((n_total * int(c)) // p) for c in cumulative_pes[:-1]]
+        selection = multisequence_select(comm, local_sorted, ranks)
+
+    # ------------------------------------------------------------------
+    # Build the r pieces per PE from the split positions
+    # ------------------------------------------------------------------
+    pieces: List[List[np.ndarray]] = []
+    for i in range(p):
+        slices = selection.pieces_for_pe(i, int(local_sorted[i].size))
+        pieces.append([local_sorted[i][s] for s in slices])
+
+    # ------------------------------------------------------------------
+    # Data delivery
+    # ------------------------------------------------------------------
+    delivery = deliver_to_groups(
+        comm,
+        groups,
+        pieces,
+        method=config.delivery,
+        seed=comm.machine.seed + level + 1,
+        phase=PHASE_DATA_DELIVERY,
+        schedule=config.exchange_schedule,
+    )
+
+    # ------------------------------------------------------------------
+    # Bucket processing: merge the received sorted runs on every PE
+    # ------------------------------------------------------------------
+    with comm.phase(PHASE_BUCKET_PROCESSING):
+        merged: List[np.ndarray] = []
+        merge_sizes = []
+        merge_ways = []
+        for i in range(p):
+            runs = delivery.received[i]
+            out = merge_runs_numpy(runs)
+            merged.append(out)
+            merge_sizes.append(int(out.size))
+            merge_ways.append(max(2, len([x for x in runs if x.size > 0])))
+        comm.charge_merge(merge_sizes, merge_ways)
+
+    # ------------------------------------------------------------------
+    # Recursion within each group (data already locally sorted)
+    # ------------------------------------------------------------------
+    output: List[np.ndarray] = [None] * p  # type: ignore[list-item]
+    for g, group in enumerate(groups):
+        offset = comm.local_rank_of(int(group.members[0]))
+        group_local = [merged[offset + j] for j in range(group.size)]
+        sorted_group = rlm_sort(
+            group,
+            group_local,
+            config=config,
+            level=level + 1,
+            _plan=_plan,
+            _presorted=True,
+        )
+        for j in range(group.size):
+            output[offset + j] = sorted_group[j]
+    return output

@@ -1,0 +1,214 @@
+"""Convenience driver: build a machine, run an algorithm, collect statistics.
+
+The experiment harness and the examples all go through this module so that
+input distribution, validation and statistics collection are uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.ams_sort import ams_sort
+from repro.core.baselines import (
+    parallel_quicksort,
+    single_level_mergesort,
+    single_level_sample_sort,
+)
+from repro.core.config import AMSConfig, RLMConfig
+from repro.core.rlm_sort import rlm_sort
+from repro.core.validation import output_imbalance, validate_output
+from repro.machine.counters import PAPER_PHASES
+from repro.machine.spec import MachineSpec
+from repro.sim.machine import SimulatedMachine
+
+
+#: Registry of algorithm names accepted by :func:`run_on_machine`.
+ALGORITHMS = ("ams", "rlm", "samplesort", "mergesort", "quicksort")
+
+
+@dataclass
+class SortResult:
+    """Everything measured during one sorting run on the simulator.
+
+    Attributes
+    ----------
+    algorithm:
+        Algorithm name.
+    output:
+        Per-PE sorted output arrays.
+    total_time:
+        Modelled makespan in seconds (maximum PE clock).
+    phase_times:
+        Bottleneck (max over PEs) modelled time per phase, accumulated over
+        all recursion levels — the quantity plotted in Figure 8.
+    imbalance:
+        Output imbalance ``max_i |out_i| / (n/p) - 1`` (Figure 10).
+    traffic:
+        Machine-wide traffic summary (startups, volume).
+    p:
+        Number of PEs.
+    n_total:
+        Total number of elements sorted.
+    params:
+        Free-form parameter dictionary recorded by the caller.
+    """
+
+    algorithm: str
+    output: List[np.ndarray]
+    total_time: float
+    phase_times: Dict[str, float]
+    imbalance: float
+    traffic: Dict[str, int]
+    p: int
+    n_total: int
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def elements_per_pe(self) -> float:
+        """Average input size per PE."""
+        return self.n_total / max(self.p, 1)
+
+    def phase_fraction(self, phase: str) -> float:
+        """Fraction of the total time spent in ``phase``."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.phase_times.get(phase, 0.0) / self.total_time
+
+    def summary_row(self) -> Dict[str, object]:
+        """Flat dictionary for table output."""
+        row: Dict[str, object] = {
+            "algorithm": self.algorithm,
+            "p": self.p,
+            "n_per_pe": int(round(self.elements_per_pe)),
+            "time_s": self.total_time,
+            "imbalance": self.imbalance,
+            "max_startups": self.traffic.get("max_startups_per_pe", 0),
+        }
+        for phase in PAPER_PHASES:
+            row[phase] = self.phase_times.get(phase, 0.0)
+        row.update(self.params)
+        return row
+
+
+def _resolve_algorithm(name: str) -> Callable:
+    name = name.lower()
+    if name in ("ams", "ams-sort", "amssort"):
+        return ams_sort
+    if name in ("rlm", "rlm-sort", "rlmsort"):
+        return rlm_sort
+    if name in ("samplesort", "sample-sort", "single-level-sample-sort"):
+        return single_level_sample_sort
+    if name in ("mergesort", "merge-sort", "mp-sort", "single-level-mergesort"):
+        return single_level_mergesort
+    if name in ("quicksort", "quick-sort", "parallel-quicksort"):
+        return parallel_quicksort
+    raise ValueError(f"unknown algorithm {name!r}; known: {ALGORITHMS}")
+
+
+def distribute_array(data: np.ndarray, p: int) -> List[np.ndarray]:
+    """Split a single array into ``p`` near-equal consecutive chunks."""
+    data = np.asarray(data)
+    if p <= 0:
+        raise ValueError("p must be positive")
+    chunks = np.array_split(data, p)
+    return [np.ascontiguousarray(c) for c in chunks]
+
+
+def run_on_machine(
+    machine: SimulatedMachine,
+    local_data: Sequence[np.ndarray],
+    algorithm: str = "ams",
+    config: Optional[object] = None,
+    validate: bool = True,
+    max_imbalance: Optional[float] = None,
+    **kwargs: object,
+) -> SortResult:
+    """Run a distributed sorting algorithm on an existing machine.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine (its clocks/counters are reset first).
+    local_data:
+        One input array per PE.
+    algorithm:
+        One of :data:`ALGORITHMS`.
+    config:
+        Algorithm configuration object (:class:`AMSConfig` / :class:`RLMConfig`)
+        for the multi-level algorithms.
+    validate:
+        Verify the output is a globally sorted permutation of the input.
+    max_imbalance:
+        Optional bound on the accepted output imbalance (validation only).
+    kwargs:
+        Extra keyword arguments forwarded to the algorithm function
+        (baselines take e.g. ``oversampling`` or ``schedule``).
+    """
+    if len(local_data) != machine.p:
+        raise ValueError("need one input array per PE")
+    machine.reset()
+    comm = machine.world()
+    func = _resolve_algorithm(algorithm)
+
+    call_kwargs: Dict[str, object] = dict(kwargs)
+    if config is not None:
+        call_kwargs["config"] = config
+    output = func(comm, list(local_data), **call_kwargs)
+
+    if validate:
+        validate_output(local_data, output, max_imbalance=max_imbalance)
+
+    phase_times = {
+        phase: machine.breakdown.max_time(phase) for phase in machine.breakdown.phases()
+    }
+    n_total = int(sum(np.asarray(d).size for d in local_data))
+    params: Dict[str, object] = {}
+    if isinstance(config, AMSConfig):
+        params["levels"] = config.levels
+        params["delivery"] = config.delivery
+    elif isinstance(config, RLMConfig):
+        params["levels"] = config.levels
+        params["delivery"] = config.delivery
+    return SortResult(
+        algorithm=algorithm,
+        output=output,
+        total_time=machine.elapsed(),
+        phase_times=phase_times,
+        imbalance=output_imbalance(output),
+        traffic=machine.counters.summary(),
+        p=machine.p,
+        n_total=n_total,
+        params=params,
+    )
+
+
+def sort_array(
+    data: np.ndarray,
+    p: int = 16,
+    algorithm: str = "ams",
+    config: Optional[object] = None,
+    spec: Optional[MachineSpec] = None,
+    seed: int = 0,
+    validate: bool = True,
+    **kwargs: object,
+) -> SortResult:
+    """Sort a single array on a freshly built simulated machine.
+
+    This is the entry point used by the quickstart example::
+
+        result = sort_array(np.random.default_rng(0).integers(0, 10**9, 100_000), p=64)
+        sorted_values = np.concatenate(result.output)
+    """
+    machine = SimulatedMachine(p, spec=spec, seed=seed)
+    local_data = distribute_array(np.asarray(data), p)
+    return run_on_machine(
+        machine,
+        local_data,
+        algorithm=algorithm,
+        config=config,
+        validate=validate,
+        **kwargs,
+    )

@@ -1,0 +1,49 @@
+"""Experiment harness reproducing the paper's evaluation (Section 7, Appendix E).
+
+Every module corresponds to one table or figure:
+
+* :mod:`repro.experiments.level_table` — Table 1 (group counts per level),
+* :mod:`repro.experiments.weak_scaling` — Table 2 and Figure 8 (weak scaling
+  wall-times and phase breakdown of AMS-sort with 1-3 levels),
+* :mod:`repro.experiments.slowdown` — Figure 7 (RLM-sort vs AMS-sort),
+* :mod:`repro.experiments.overpartitioning` — Figures 10 and 11 (effect of
+  the oversampling / overpartitioning factors),
+* :mod:`repro.experiments.variance` — Figure 12 (distribution of wall-times),
+* :mod:`repro.experiments.comparison` — Section 7.3 (single-level baselines).
+
+The paper's machine (up to 32768 MPI ranks with up to ``10^7`` elements
+each) does not fit into a pure-Python simulation, so every experiment runs a
+*scaled* configuration by default and prints both the configuration it ran
+and, where applicable, the paper's reference numbers next to the measured
+ones.  The scale is controlled by the ``REPRO_SCALE`` environment variable
+(``quick`` [default], ``medium``, ``large``) or by passing explicit
+parameters to the experiment functions.
+"""
+
+from repro.experiments.harness import (
+    ExperimentRunner,
+    RunConfig,
+    scale_profile,
+    SCALE_PROFILES,
+)
+from repro.experiments import (
+    level_table,
+    weak_scaling,
+    slowdown,
+    overpartitioning,
+    variance,
+    comparison,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "RunConfig",
+    "scale_profile",
+    "SCALE_PROFILES",
+    "level_table",
+    "weak_scaling",
+    "slowdown",
+    "overpartitioning",
+    "variance",
+    "comparison",
+]

@@ -1,0 +1,74 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments.cli table1
+    python -m repro.experiments.cli table2 --scale quick
+    python -m repro.experiments.cli fig7 fig8 fig10 fig11 fig12 sec73
+    python -m repro.experiments.cli all --scale medium
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    comparison,
+    level_table,
+    overpartitioning,
+    slowdown,
+    variance,
+    weak_scaling,
+)
+
+
+EXPERIMENTS: Dict[str, Callable[..., str]] = {
+    "table1": lambda scale=None: level_table.run(),
+    "table2": lambda scale=None: weak_scaling.run(scale=scale),
+    "fig7": lambda scale=None: slowdown.run(scale=scale),
+    "fig8": lambda scale=None: weak_scaling.run(scale=scale),
+    "fig10": lambda scale=None: overpartitioning.run(scale=scale),
+    "fig11": lambda scale=None: overpartitioning.run(scale=scale),
+    "fig12": lambda scale=None: variance.run(scale=scale),
+    "sec73": lambda scale=None: comparison.run(scale=scale),
+}
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Run the named experiments and print their formatted output."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Reproduce the evaluation of 'Practical Massively Parallel Sorting'.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment names ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=["quick", "medium", "large"],
+        help="scale profile (default: $REPRO_SCALE or 'quick')",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(args.experiments)
+    if "all" in names:
+        names = sorted(EXPERIMENTS)
+    seen = set()
+    ordered = [n for n in names if not (n in seen or seen.add(n))]
+
+    for name in ordered:
+        if name not in EXPERIMENTS:
+            parser.error(f"unknown experiment {name!r}; known: {', '.join(sorted(EXPERIMENTS))}")
+        print(f"=== {name} ===")
+        print(EXPERIMENTS[name](scale=args.scale))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

@@ -1,0 +1,205 @@
+"""Shared experiment infrastructure: configurations, repetitions, medians."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import summarize_runs
+from repro.core.config import AMSConfig, RLMConfig
+from repro.core.runner import SortResult, run_on_machine
+from repro.machine.spec import MachineSpec, supermuc_like
+from repro.sim.machine import SimulatedMachine
+from repro.workloads.generators import per_pe_workload
+
+
+#: Scaled-down stand-ins for the paper's configurations.  The paper runs
+#: p in {512, 2048, 8192, 32768} with n/p in {1e5, 1e6, 1e7}; a pure-Python
+#: simulation must shrink both, keeping the *ratios* (per-PE work vs startup
+#: cost) in a regime where the paper's qualitative effects are visible.
+SCALE_PROFILES: Dict[str, Dict[str, object]] = {
+    "quick": {
+        "p_values": (16, 64, 256),
+        "n_per_pe_values": (200, 2000, 20000),
+        "repetitions": 3,
+        "node_size": 4,
+    },
+    "medium": {
+        "p_values": (64, 256, 1024),
+        "n_per_pe_values": (500, 5000, 50000),
+        "repetitions": 3,
+        "node_size": 8,
+    },
+    "large": {
+        "p_values": (512, 2048, 8192),
+        "n_per_pe_values": (1000, 10000, 100000),
+        "repetitions": 3,
+        "node_size": 16,
+    },
+}
+
+#: The configurations of the paper, for side-by-side reporting.
+PAPER_P_VALUES = (512, 2048, 8192, 32768)
+PAPER_N_PER_PE = (10**5, 10**6, 10**7)
+
+#: Table 2 of the paper: median wall-times (seconds) of AMS-sort.
+PAPER_TABLE2_SECONDS: Dict[int, Dict[int, float]] = {
+    10**5: {512: 0.0228, 2048: 0.0277, 8192: 0.0359, 32768: 0.0707},
+    10**6: {512: 0.2212, 2048: 0.2589, 8192: 0.2687, 32768: 0.9171},
+    10**7: {512: 2.6523, 2048: 2.9797, 8192: 4.0625, 32768: 6.0932},
+}
+
+
+def scale_profile(name: Optional[str] = None) -> Dict[str, object]:
+    """Return the scale profile selected by ``name`` or ``$REPRO_SCALE``."""
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "quick")
+    name = name.lower()
+    if name not in SCALE_PROFILES:
+        known = ", ".join(sorted(SCALE_PROFILES))
+        raise KeyError(f"unknown scale profile {name!r}; known: {known}")
+    return dict(SCALE_PROFILES[name])
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One experiment configuration (algorithm + machine + workload)."""
+
+    algorithm: str = "ams"
+    p: int = 64
+    n_per_pe: int = 1000
+    levels: int = 2
+    workload: str = "uniform"
+    node_size: int = 4
+    delivery: str = "deterministic"
+    repetitions: int = 3
+    seed: int = 0
+    spec: Optional[MachineSpec] = None
+    overpartitioning: Optional[int] = None
+    oversampling: Optional[float] = None
+    validate: bool = True
+
+    def label(self) -> str:
+        """Short human readable identifier."""
+        return (
+            f"{self.algorithm}-k{self.levels}-p{self.p}-n{self.n_per_pe}"
+            f"-{self.workload}"
+        )
+
+
+class ExperimentRunner:
+    """Runs :class:`RunConfig` objects, repeating and aggregating results."""
+
+    def __init__(self, spec: Optional[MachineSpec] = None, verbose: bool = False):
+        self.spec = spec if spec is not None else supermuc_like()
+        self.verbose = verbose
+
+    # ------------------------------------------------------------------
+    def _build_config(self, cfg: RunConfig):
+        if cfg.algorithm == "ams":
+            sampling = None
+            if cfg.overpartitioning is not None or cfg.oversampling is not None:
+                from repro.blocks.sampling import SamplingParams, default_oversampling
+
+                sampling = SamplingParams(
+                    oversampling=(
+                        cfg.oversampling
+                        if cfg.oversampling is not None
+                        else default_oversampling(cfg.p * cfg.n_per_pe)
+                    ),
+                    overpartitioning=(
+                        cfg.overpartitioning if cfg.overpartitioning is not None else 16
+                    ),
+                    per_pe=True,
+                )
+            return AMSConfig(
+                levels=cfg.levels,
+                node_size=cfg.node_size,
+                delivery=cfg.delivery,
+                sampling=sampling,
+            )
+        if cfg.algorithm == "rlm":
+            return RLMConfig(
+                levels=cfg.levels, node_size=cfg.node_size, delivery=cfg.delivery
+            )
+        return None
+
+    def run_once(self, cfg: RunConfig, repetition: int = 0) -> SortResult:
+        """Run one repetition of a configuration and return its result."""
+        spec = cfg.spec if cfg.spec is not None else self.spec
+        machine = SimulatedMachine(cfg.p, spec=spec, seed=cfg.seed + repetition)
+        local_data = per_pe_workload(
+            cfg.workload, cfg.p, cfg.n_per_pe, seed=cfg.seed + 1000 * repetition
+        )
+        algo_config = self._build_config(cfg)
+        result = run_on_machine(
+            machine,
+            local_data,
+            algorithm=cfg.algorithm,
+            config=algo_config,
+            validate=cfg.validate,
+        )
+        result.params.update(
+            {
+                "workload": cfg.workload,
+                "repetition": repetition,
+                "levels": cfg.levels,
+            }
+        )
+        if self.verbose:  # pragma: no cover - logging only
+            print(f"  {cfg.label()} rep {repetition}: {result.total_time:.6f} s")
+        return result
+
+    def run(self, cfg: RunConfig) -> Dict[str, object]:
+        """Run all repetitions of a configuration and aggregate the outcome.
+
+        Returns a flat result row: median/min/max modelled time, per-phase
+        medians, output imbalance and traffic statistics.
+        """
+        results = [self.run_once(cfg, rep) for rep in range(max(1, cfg.repetitions))]
+        times = [r.total_time for r in results]
+        stats = summarize_runs(times)
+        median_idx = int(np.argsort(times)[len(times) // 2])
+        representative = results[median_idx]
+        row: Dict[str, object] = {
+            "algorithm": cfg.algorithm,
+            "levels": cfg.levels,
+            "p": cfg.p,
+            "n_per_pe": cfg.n_per_pe,
+            "workload": cfg.workload,
+            "time_median_s": stats["median"],
+            "time_min_s": stats["min"],
+            "time_max_s": stats["max"],
+            "imbalance": representative.imbalance,
+            "max_startups": representative.traffic["max_startups_per_pe"],
+            "max_words": representative.traffic["max_words_per_pe"],
+        }
+        for phase, value in representative.phase_times.items():
+            row[f"phase_{phase}"] = value
+        return row
+
+    def run_grid(self, configs: Sequence[RunConfig]) -> List[Dict[str, object]]:
+        """Run a list of configurations, returning one row per configuration."""
+        return [self.run(cfg) for cfg in configs]
+
+    # ------------------------------------------------------------------
+    def best_level_time(
+        self, cfg: RunConfig, level_candidates: Sequence[int]
+    ) -> Dict[str, object]:
+        """Run a configuration for several level counts and keep the fastest.
+
+        The paper's Table 2 / Figure 7 report, for every ``(p, n/p)``, the
+        best choice among 1-3 levels.
+        """
+        best_row: Optional[Dict[str, object]] = None
+        for levels in level_candidates:
+            if levels < 1:
+                continue
+            row = self.run(replace(cfg, levels=levels))
+            if best_row is None or row["time_median_s"] < best_row["time_median_s"]:
+                best_row = row
+        assert best_row is not None
+        return best_row

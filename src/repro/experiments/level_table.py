@@ -1,0 +1,54 @@
+"""Table 1: selection of the group count ``r`` per level for weak scaling."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.core.config import level_plan
+
+
+#: The r-values listed in Table 1 of the paper (levels are 1-indexed).
+PAPER_TABLE1: Dict[int, Dict[int, List[int]]] = {
+    1: {512: [16], 2048: [16], 8192: [16], 32768: [16]},
+    2: {512: [32, 16], 2048: [128, 16], 8192: [512, 16], 32768: [2048, 16]},
+    3: {512: [8, 4, 16], 2048: [16, 8, 16], 8192: [32, 16, 16], 32768: [64, 32, 16]},
+}
+
+
+def level_table_rows(
+    p_values: Sequence[int] = (512, 2048, 8192, 32768),
+    level_counts: Sequence[int] = (1, 2, 3),
+    node_size: int = 16,
+) -> List[Dict[str, object]]:
+    """Rows comparing our :func:`level_plan` with the paper's Table 1."""
+    rows: List[Dict[str, object]] = []
+    for k in level_counts:
+        for level in range(k):
+            row: Dict[str, object] = {"k": k, "level": level + 1}
+            for p in p_values:
+                ours = level_plan(p, k, node_size=node_size)
+                row[f"p={p}"] = ours[level]
+                paper = PAPER_TABLE1.get(k, {}).get(p)
+                if paper is not None and level < len(paper):
+                    row[f"paper p={p}"] = paper[level]
+            rows.append(row)
+    return rows
+
+
+def run(p_values: Optional[Sequence[int]] = None, node_size: int = 16) -> str:
+    """Produce the Table 1 comparison as formatted text."""
+    if p_values is None:
+        p_values = (512, 2048, 8192, 32768)
+    rows = level_table_rows(p_values=p_values, node_size=node_size)
+    note = (
+        "Table 1 — group counts r per level (ours vs. paper).\n"
+        "Note: the paper's k=1 row lists the node size (16); a single-level\n"
+        "algorithm must split into r=p groups to finish in one level, which\n"
+        "is what level_plan() returns for k=1.\n"
+    )
+    return note + format_table(rows)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(run())

@@ -1,0 +1,129 @@
+"""Figures 10 and 11 (Appendix E): the effect of oversampling and overpartitioning.
+
+The paper fixes ``p = 512`` MPI processes with ``n/p = 1e5`` elements each and
+sweeps the number of samples per process ``a * b``:
+
+* Figure 10 plots the **maximum imbalance** among the groups of the sorted
+  output for ``b`` in {1, 8, 16} — overpartitioning (``b > 1``) reduces the
+  imbalance dramatically for a given sample size,
+* Figure 11 plots the **wall-time** (total and the splitter-selection phase
+  alone) for oversampling factors ``a`` in {1, 8, 16} — more samples first
+  help (better balance) and eventually hurt (sample sorting dominates).
+
+The scaled reproduction sweeps the same parameters on a smaller machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.experiments.harness import ExperimentRunner, RunConfig, scale_profile
+from repro.machine.counters import PHASE_SPLITTER_SELECTION
+
+
+def imbalance_sweep_rows(
+    p: int,
+    n_per_pe: int,
+    b_values: Sequence[int] = (1, 8, 16),
+    samples_per_pe_values: Sequence[int] = (4, 16, 64, 256, 1024),
+    levels: int = 1,
+    node_size: int = 4,
+    repetitions: int = 2,
+    runner: Optional[ExperimentRunner] = None,
+) -> List[Dict[str, object]]:
+    """Figure 10: maximum output imbalance vs samples per PE for several ``b``."""
+    runner = runner or ExperimentRunner()
+    rows: List[Dict[str, object]] = []
+    for b in b_values:
+        for ab in samples_per_pe_values:
+            a = max(ab / b, 0.25)
+            cfg = RunConfig(
+                algorithm="ams",
+                p=p,
+                n_per_pe=n_per_pe,
+                levels=levels,
+                node_size=node_size,
+                repetitions=repetitions,
+                overpartitioning=int(b),
+                oversampling=float(a),
+            )
+            row = runner.run(cfg)
+            rows.append(
+                {
+                    "samples_per_pe": ab,
+                    "b": b,
+                    "a": a,
+                    "imbalance": row["imbalance"],
+                    "time_median_s": row["time_median_s"],
+                }
+            )
+    return rows
+
+
+def walltime_sweep_rows(
+    p: int,
+    n_per_pe: int,
+    a_values: Sequence[float] = (1.0, 8.0, 16.0),
+    samples_per_pe_values: Sequence[int] = (4, 16, 64, 256, 1024),
+    levels: int = 1,
+    node_size: int = 4,
+    repetitions: int = 2,
+    runner: Optional[ExperimentRunner] = None,
+) -> List[Dict[str, object]]:
+    """Figure 11: total wall-time and splitter-selection time vs samples per PE."""
+    runner = runner or ExperimentRunner()
+    rows: List[Dict[str, object]] = []
+    for a in a_values:
+        for ab in samples_per_pe_values:
+            b = max(1, int(round(ab / a)))
+            cfg = RunConfig(
+                algorithm="ams",
+                p=p,
+                n_per_pe=n_per_pe,
+                levels=levels,
+                node_size=node_size,
+                repetitions=repetitions,
+                overpartitioning=b,
+                oversampling=float(a),
+            )
+            row = runner.run(cfg)
+            rows.append(
+                {
+                    "samples_per_pe": ab,
+                    "a": a,
+                    "b": b,
+                    "total_time_s": row["time_median_s"],
+                    "sampling_time_s": row.get(f"phase_{PHASE_SPLITTER_SELECTION}", 0.0),
+                    "imbalance": row["imbalance"],
+                }
+            )
+    return rows
+
+
+def run(scale: Optional[str] = None) -> str:
+    """Run the scaled Figures 10/11 sweeps and return formatted tables."""
+    profile = scale_profile(scale)
+    p = int(profile["p_values"][0])
+    n_per_pe = int(profile["n_per_pe_values"][1])
+    node_size = int(profile["node_size"])
+    text = []
+    text.append(format_table(
+        imbalance_sweep_rows(p, n_per_pe, node_size=node_size),
+        title=(
+            f"Figure 10 (scaled, p={p}, n/p={n_per_pe}) — maximum imbalance vs "
+            "samples per PE (overpartitioning b reduces imbalance)"
+        ),
+    ))
+    text.append(format_table(
+        walltime_sweep_rows(p, n_per_pe, node_size=node_size),
+        title=(
+            f"Figure 11 (scaled, p={p}, n/p={n_per_pe}) — wall-time and "
+            "splitter-selection time vs samples per PE"
+        ),
+    ))
+    return "\n".join(text)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(run())

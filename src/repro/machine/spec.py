@@ -1,0 +1,267 @@
+"""Hardware parameter sets (``MachineSpec``) and calibration presets.
+
+The paper evaluates AMS-sort and RLM-sort on the SuperMUC thin-node cluster
+(Section 7).  We cannot run on SuperMUC, so the benchmark harness replays the
+algorithms on a simulated machine whose behaviour is governed by a
+:class:`MachineSpec`.  The spec captures exactly the parameters that appear
+in the paper's cost model:
+
+* ``alpha`` — message startup latency (seconds),
+* ``beta`` — per machine-word transfer time (seconds/word) on the lowest
+  (intra-node) level of the hierarchy,
+* bandwidth degradation factors for node-level and island-level traffic
+  (SuperMUC's pruned island tree has a 4:1 bandwidth ratio, Section 7),
+* local-work constants used to charge time for sorting, merging,
+  partitioning and moving elements.
+
+All presets are deliberately *rough* calibrations.  Absolute times produced
+by the simulator are not meant to match the paper to the nanosecond; the
+purpose of the calibration is that the *relative* weight of startups,
+bandwidth and local work is realistic enough for the paper's qualitative
+claims (multi-level algorithms win for large ``p`` and moderate ``n/p``) to
+be visible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+
+
+#: Number of bytes in one machine word.  The paper equates the machine word
+#: size with the size of one 64-bit key (Section 2.1).
+WORD_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete description of the simulated machine's performance model.
+
+    Parameters
+    ----------
+    name:
+        Human readable identifier, used in reports.
+    alpha:
+        Message startup overhead in seconds.  Charged once per message.
+    beta:
+        Per-word transfer time in seconds for traffic that stays on the
+        cheapest hierarchy level (within a node).
+    node_beta_factor:
+        Multiplier applied to ``beta`` when a message crosses node
+        boundaries but stays within an island.
+    island_beta_factor:
+        Multiplier applied to ``beta`` when a message crosses island
+        boundaries.  SuperMUC's pruned tree has a 4:1 bandwidth ratio, so the
+        preset uses four times the intra-island factor.
+    cores_per_node:
+        Number of PEs (MPI ranks in the paper) mapped onto one node.
+    nodes_per_island:
+        Number of nodes per island.
+    comparison_ns:
+        Cost (nanoseconds) charged per element comparison during local
+        sorting (``n/p * log(n/p)`` comparisons for a local sort).
+    merge_ns:
+        Cost (nanoseconds) per element and per ``log2(r)`` during multiway
+        merging of ``r`` runs.
+    partition_ns:
+        Cost (nanoseconds) per element and per ``log2(k)`` during
+        ``k``-splitter partitioning (super scalar sample sort is branch-free,
+        hence typically cheaper than merging).
+    move_ns:
+        Cost (nanoseconds) per element for copying/packing an element into a
+        message buffer or out of one.
+    collective_word_ns:
+        Per-word cost of small vector collectives (broadcast, reduction,
+        prefix sum).  Usually close to ``beta`` expressed in nanoseconds.
+    """
+
+    name: str = "generic"
+    alpha: float = 1.0e-5
+    beta: float = 2.5e-9
+    node_beta_factor: float = 1.0
+    island_beta_factor: float = 4.0
+    cores_per_node: int = 16
+    nodes_per_island: int = 512
+    comparison_ns: float = 4.0
+    merge_ns: float = 3.0
+    partition_ns: float = 2.0
+    move_ns: float = 1.0
+    collective_word_ns: float = 4.0
+
+    # ------------------------------------------------------------------
+    # Derived helpers
+    # ------------------------------------------------------------------
+    @property
+    def cores_per_island(self) -> int:
+        """Number of PEs per island."""
+        return self.cores_per_node * self.nodes_per_island
+
+    def beta_for_level(self, level: int) -> float:
+        """Per-word transfer time for traffic crossing hierarchy ``level``.
+
+        ``level`` uses the convention of :mod:`repro.machine.topology`:
+        ``0`` = intra-node, ``1`` = intra-island (crosses nodes),
+        ``2`` = inter-island.
+        """
+        if level <= 0:
+            return self.beta
+        if level == 1:
+            return self.beta * self.node_beta_factor
+        return self.beta * self.island_beta_factor
+
+    def local_sort_time(self, m: int) -> float:
+        """Modelled time (seconds) to sort ``m`` elements locally."""
+        if m <= 1:
+            return 0.0
+        return self.comparison_ns * 1e-9 * m * max(1.0, math.log2(m))
+
+    def local_merge_time(self, m: int, ways: int) -> float:
+        """Modelled time to merge ``m`` elements from ``ways`` sorted runs."""
+        if m <= 0 or ways <= 1:
+            return self.move_ns * 1e-9 * max(m, 0)
+        return self.merge_ns * 1e-9 * m * max(1.0, math.log2(ways))
+
+    def local_partition_time(self, m: int, buckets: int) -> float:
+        """Modelled time to partition ``m`` elements into ``buckets`` buckets."""
+        if m <= 0 or buckets <= 1:
+            return 0.0
+        return self.partition_ns * 1e-9 * m * max(1.0, math.log2(buckets))
+
+    def local_move_time(self, m: int) -> float:
+        """Modelled time to copy ``m`` elements."""
+        return self.move_ns * 1e-9 * max(m, 0)
+
+    def with_overrides(self, **kwargs: object) -> "MachineSpec":
+        """Return a copy of this spec with selected fields replaced."""
+        return dataclasses.replace(self, **kwargs)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        """Return a multi-line human readable description of the spec."""
+        lines = [f"MachineSpec '{self.name}':"]
+        for f in dataclasses.fields(self):
+            lines.append(f"  {f.name} = {getattr(self, f.name)}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Calibration presets
+# ----------------------------------------------------------------------
+def supermuc_like() -> MachineSpec:
+    """Approximation of the SuperMUC thin-node islands used in the paper.
+
+    Two 8-core Sandy Bridge processors per node (16 MPI ranks/node),
+    512 nodes per island, InfiniBand FDR10 within an island and a 4:1 pruned
+    tree between islands.
+    """
+    return MachineSpec(
+        name="supermuc-like",
+        alpha=8.0e-6,
+        beta=2.0e-9,          # ~4 GB/s effective per rank for 8-byte words
+        node_beta_factor=1.0,
+        island_beta_factor=4.0,
+        cores_per_node=16,
+        nodes_per_island=512,
+        comparison_ns=3.5,
+        merge_ns=3.0,
+        partition_ns=1.8,
+        move_ns=0.8,
+        collective_word_ns=4.0,
+    )
+
+
+def cray_xt4_like() -> MachineSpec:
+    """Approximation of the Cray XT4 used by Solomonik and Kale [34]."""
+    return MachineSpec(
+        name="cray-xt4-like",
+        alpha=6.0e-6,
+        beta=1.4e-9,
+        node_beta_factor=1.2,
+        island_beta_factor=1.6,
+        cores_per_node=4,
+        nodes_per_island=2048,
+        comparison_ns=4.5,
+        merge_ns=3.8,
+        partition_ns=2.2,
+        move_ns=1.0,
+        collective_word_ns=4.5,
+    )
+
+
+def cray_xe6_like() -> MachineSpec:
+    """Approximation of the Cray XE6 (Blue Waters) used by MP-sort [12]."""
+    return MachineSpec(
+        name="cray-xe6-like",
+        alpha=5.0e-6,
+        beta=1.2e-9,
+        node_beta_factor=1.2,
+        island_beta_factor=2.0,
+        cores_per_node=32,
+        nodes_per_island=1563,
+        comparison_ns=4.0,
+        merge_ns=3.2,
+        partition_ns=2.0,
+        move_ns=0.9,
+        collective_word_ns=4.0,
+    )
+
+
+def generic_cluster(cores_per_node: int = 16, nodes_per_island: int = 64) -> MachineSpec:
+    """A generic commodity cluster with an InfiniBand-class network."""
+    return MachineSpec(
+        name="generic-cluster",
+        alpha=1.2e-5,
+        beta=3.0e-9,
+        node_beta_factor=1.0,
+        island_beta_factor=2.0,
+        cores_per_node=cores_per_node,
+        nodes_per_island=nodes_per_island,
+    )
+
+
+def laptop_like() -> MachineSpec:
+    """A tiny shared-memory 'machine' useful for unit tests and examples.
+
+    Startup cost and bandwidth are those of an in-memory message queue, so
+    even very small simulated runs produce non-degenerate phase breakdowns.
+    """
+    return MachineSpec(
+        name="laptop-like",
+        alpha=5.0e-7,
+        beta=1.0e-9,
+        node_beta_factor=1.0,
+        island_beta_factor=1.0,
+        cores_per_node=8,
+        nodes_per_island=1,
+        comparison_ns=5.0,
+        merge_ns=4.0,
+        partition_ns=2.5,
+        move_ns=1.0,
+        collective_word_ns=2.0,
+    )
+
+
+#: Registry of named presets, used by the CLI / experiment harness.
+PRESETS = {
+    "supermuc": supermuc_like,
+    "cray-xt4": cray_xt4_like,
+    "cray-xe6": cray_xe6_like,
+    "generic": generic_cluster,
+    "laptop": laptop_like,
+}
+
+
+def spec_by_name(name: str) -> MachineSpec:
+    """Look up a preset :class:`MachineSpec` by name.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` does not denote a known preset.
+    """
+    try:
+        factory = PRESETS[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(PRESETS))
+        raise KeyError(f"unknown machine preset {name!r}; known presets: {known}") from exc
+    return factory()

@@ -1,0 +1,202 @@
+"""Sequential multiway merging of sorted runs.
+
+The paper (Section 2.2) notes that ``r``-way merging of runs with total
+length ``N`` can be done in ``O(N log r)`` time with a tournament (loser)
+tree [20, 27, 33].  This module provides:
+
+* :class:`LoserTree` — a classic loser-tree priority structure, faithful to
+  the data structure used by the MCSTL multiway merge the paper's C++
+  implementation calls,
+* :func:`multiway_merge` — merge ``r`` runs using the loser tree (pure
+  Python; exact and useful for tests and small inputs),
+* :func:`merge_runs_numpy` — a vectorised merge (concatenate + stable sort /
+  repeated pairwise ``np.merge``-style passes) used as the fast path for the
+  simulator's per-PE local work,
+* :func:`merge_two` — textbook linear two-way merge.
+
+All functions preserve stability with respect to the input run order: ties
+are resolved in favour of the run with the smaller index.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class LoserTree:
+    """Tournament tree of losers over ``k`` sorted runs.
+
+    The tree keeps, for every internal node, the *loser* of the comparison
+    played at that node and propagates the overall winner to the root.
+    Extracting the minimum and replaying the affected path costs
+    ``O(log k)`` comparisons, giving ``O(N log k)`` for a full merge.
+
+    Parameters
+    ----------
+    runs:
+        Sequence of one-dimensional, individually sorted arrays.
+    """
+
+    def __init__(self, runs: Sequence[np.ndarray]):
+        self.runs = [np.asarray(r) for r in runs]
+        for i, r in enumerate(self.runs):
+            if r.ndim != 1:
+                raise ValueError(f"run {i} is not one-dimensional")
+        self.k = max(1, len(self.runs))
+        # Number of leaves rounded up to a power of two for a complete tree.
+        size = 1
+        while size < self.k:
+            size *= 2
+        self._size = size
+        self._positions = [0] * len(self.runs)
+        # tree[1..size-1] hold loser leaf indices; tree[0] holds the winner.
+        self._tree = [-1] * (2 * size)
+        self._exhausted_key = None
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _key(self, leaf: int):
+        """Current key of ``leaf`` or ``None`` when the run is exhausted."""
+        if leaf >= len(self.runs):
+            return None
+        pos = self._positions[leaf]
+        run = self.runs[leaf]
+        if pos >= run.size:
+            return None
+        return run[pos]
+
+    def _less(self, a: int, b: int) -> bool:
+        """Return True when leaf ``a`` currently beats leaf ``b`` (smaller key wins)."""
+        ka, kb = self._key(a), self._key(b)
+        if ka is None:
+            return False
+        if kb is None:
+            return True
+        if ka < kb:
+            return True
+        if kb < ka:
+            return False
+        return a < b  # stability: lower run index wins ties
+
+    def _build(self) -> None:
+        size = self._size
+        # Initialise a full knockout tournament bottom-up.
+        winners = list(range(size))
+        for node in range(size - 1, 0, -1):
+            left = winners[2 * node - size] if 2 * node >= size else None
+            # Recompute winners level by level instead: simpler approach below.
+            break
+        # Simpler O(k log k) build: insert leaves one by one via replay.
+        self._tree = [-1] * (2 * size)
+        winner_of = {}
+        # Leaves occupy slots size .. 2*size-1.
+        for node in range(size, 2 * size):
+            winner_of[node] = node - size
+        for node in range(size - 1, 0, -1):
+            a = winner_of[2 * node]
+            b = winner_of[2 * node + 1]
+            if self._less(a, b):
+                winner_of[node] = a
+                self._tree[node] = b
+            else:
+                winner_of[node] = b
+                self._tree[node] = a
+        self._tree[0] = winner_of[1] if size > 0 else -1
+
+    # ------------------------------------------------------------------
+    def empty(self) -> bool:
+        """True when all runs are exhausted."""
+        return self._key(self._tree[0]) is None
+
+    def peek(self):
+        """Smallest remaining key (or ``None`` when empty)."""
+        return self._key(self._tree[0])
+
+    def pop(self):
+        """Remove and return the smallest remaining key."""
+        winner = self._tree[0]
+        key = self._key(winner)
+        if key is None:
+            raise IndexError("pop from an empty LoserTree")
+        self._positions[winner] += 1
+        # Replay the path from the winner's leaf to the root.
+        node = (winner + self._size) // 2
+        current = winner
+        while node >= 1:
+            opponent = self._tree[node]
+            if opponent >= 0 and self._less(opponent, current):
+                self._tree[node] = current
+                current = opponent
+            node //= 2
+        self._tree[0] = current
+        return key
+
+    def __len__(self) -> int:
+        return int(sum(r.size - p for r, p in zip(self.runs, self._positions)))
+
+
+def multiway_merge(runs: Sequence[np.ndarray], dtype: Optional[np.dtype] = None) -> np.ndarray:
+    """Merge ``k`` sorted runs into one sorted array using a loser tree.
+
+    This is the exact, comparison-by-comparison implementation; it is
+    ``O(N log k)`` but runs in pure Python, so use it for correctness tests
+    and small inputs.  :func:`merge_runs_numpy` is the vectorised fast path.
+    """
+    runs = [np.asarray(r) for r in runs]
+    non_empty = [r for r in runs if r.size > 0]
+    if dtype is None:
+        dtype = non_empty[0].dtype if non_empty else np.float64
+    total = int(sum(r.size for r in runs))
+    out = np.empty(total, dtype=dtype)
+    if total == 0:
+        return out
+    tree = LoserTree(runs)
+    for i in range(total):
+        out[i] = tree.pop()
+    return out
+
+
+def merge_two(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Linear-time stable merge of two sorted arrays (ties favour ``a``)."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.size == 0:
+        return b.copy()
+    if b.size == 0:
+        return a.copy()
+    # Vectorised stable two-way merge via rank computation:
+    # position of a[i] in the output = i + (# of b's strictly smaller than a[i])
+    # position of b[j] in the output = j + (# of a's smaller-or-equal to b[j])
+    out = np.empty(a.size + b.size, dtype=np.result_type(a.dtype, b.dtype))
+    pos_a = np.arange(a.size) + np.searchsorted(b, a, side="left")
+    pos_b = np.arange(b.size) + np.searchsorted(a, b, side="right")
+    out[pos_a] = a
+    out[pos_b] = b
+    return out
+
+
+def merge_runs_numpy(runs: Sequence[np.ndarray]) -> np.ndarray:
+    """Vectorised multiway merge of sorted runs.
+
+    Repeatedly merges pairs of runs with the vectorised two-way merge, which
+    costs ``O(N log k)`` data movement and is dramatically faster than the
+    pure-Python loser tree for large inputs while producing the identical
+    (stable) result.
+    """
+    pieces: List[np.ndarray] = [np.asarray(r) for r in runs if np.asarray(r).size > 0]
+    if not pieces:
+        base = [np.asarray(r) for r in runs]
+        dtype = base[0].dtype if base else np.float64
+        return np.empty(0, dtype=dtype)
+    if len(pieces) == 1:
+        return pieces[0].copy()
+    while len(pieces) > 1:
+        merged: List[np.ndarray] = []
+        for i in range(0, len(pieces) - 1, 2):
+            merged.append(merge_two(pieces[i], pieces[i + 1]))
+        if len(pieces) % 2 == 1:
+            merged.append(pieces[-1])
+        pieces = merged
+    return pieces[0]

@@ -1,0 +1,97 @@
+"""Containers for collections of sorted runs.
+
+After the data exchange of RLM-sort every PE holds a handful of sorted runs
+(one per sending PE / group) which it then merges; AMS-sort's recursion can
+likewise exploit that received data is pre-partitioned.  ``SortedRuns`` is a
+small convenience container for such collections that keeps the invariants
+checkable and offers the merge/split operations the algorithms need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.seq.merge import merge_runs_numpy
+from repro.seq.sorting import is_sorted
+
+
+class SortedRuns:
+    """An ordered collection of individually sorted one-dimensional arrays."""
+
+    def __init__(self, runs: Iterable[np.ndarray] = (), validate: bool = False):
+        self._runs: List[np.ndarray] = [np.asarray(r) for r in runs]
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`ValueError` unless every run is sorted and 1-D."""
+        for i, r in enumerate(self._runs):
+            if r.ndim != 1:
+                raise ValueError(f"run {i} is not one-dimensional")
+            if not is_sorted(r):
+                raise ValueError(f"run {i} is not sorted")
+
+    def append(self, run: np.ndarray) -> None:
+        """Add one more sorted run."""
+        self._runs.append(np.asarray(run))
+
+    def extend(self, runs: Iterable[np.ndarray]) -> None:
+        """Add several sorted runs."""
+        for r in runs:
+            self.append(r)
+
+    # ------------------------------------------------------------------
+    @property
+    def runs(self) -> List[np.ndarray]:
+        """The underlying list of runs (not copied)."""
+        return self._runs
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._runs)
+
+    def __getitem__(self, idx: int) -> np.ndarray:
+        return self._runs[idx]
+
+    def total_size(self) -> int:
+        """Total number of elements across all runs."""
+        return int(sum(r.size for r in self._runs))
+
+    def non_empty(self) -> "SortedRuns":
+        """A view containing only the non-empty runs."""
+        return SortedRuns([r for r in self._runs if r.size > 0])
+
+    # ------------------------------------------------------------------
+    def merged(self) -> np.ndarray:
+        """Merge all runs into a single sorted array."""
+        return merge_runs_numpy(self._runs)
+
+    def concatenated(self) -> np.ndarray:
+        """Plain concatenation (not sorted across runs)."""
+        pieces = [r for r in self._runs if r.size > 0]
+        if not pieces:
+            dtype = self._runs[0].dtype if self._runs else np.float64
+            return np.empty(0, dtype=dtype)
+        return np.concatenate(pieces)
+
+    def dtype(self) -> np.dtype:
+        """Common dtype of the runs (float64 when empty)."""
+        for r in self._runs:
+            if r.size > 0:
+                return r.dtype
+        return np.dtype(np.float64) if not self._runs else self._runs[0].dtype
+
+
+def runs_total_size(runs: Sequence[np.ndarray]) -> int:
+    """Total number of elements of a plain list of runs."""
+    return int(sum(np.asarray(r).size for r in runs))
+
+
+def check_runs_sorted(runs: Sequence[np.ndarray]) -> bool:
+    """True when every run in the list is individually sorted."""
+    return all(is_sorted(np.asarray(r)) for r in runs)

@@ -1,0 +1,72 @@
+"""Local sorting helpers and sortedness checks."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def local_sort(values: np.ndarray, kind: str = "stable") -> np.ndarray:
+    """Sort a one-dimensional array and return a new sorted array.
+
+    This is the "local sorting" step every PE performs; the simulator charges
+    its modelled cost separately, so the implementation simply defers to
+    NumPy's introsort/timsort.
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError("local_sort expects a one-dimensional array")
+    return np.sort(values, kind=kind)
+
+
+def insertion_sort(values: np.ndarray) -> np.ndarray:
+    """Textbook insertion sort (pure Python) for very small inputs.
+
+    Exists mostly so tests have an independent oracle that does not share a
+    code path with NumPy's sort.
+    """
+    out = list(np.asarray(values).tolist())
+    for i in range(1, len(out)):
+        key = out[i]
+        j = i - 1
+        while j >= 0 and out[j] > key:
+            out[j + 1] = out[j]
+            j -= 1
+        out[j + 1] = key
+    arr = np.asarray(values)
+    return np.asarray(out, dtype=arr.dtype if arr.size else np.float64)
+
+
+def is_sorted(values: np.ndarray) -> bool:
+    """True when the array is non-decreasing."""
+    values = np.asarray(values)
+    if values.size <= 1:
+        return True
+    return bool(np.all(values[1:] >= values[:-1]))
+
+
+def sortedness_violations(values: np.ndarray) -> int:
+    """Number of adjacent inversions (positions where ``a[i] > a[i+1]``)."""
+    values = np.asarray(values)
+    if values.size <= 1:
+        return 0
+    return int(np.count_nonzero(values[1:] < values[:-1]))
+
+
+def counting_sort_small_range(values: np.ndarray, max_value: Optional[int] = None) -> np.ndarray:
+    """Counting sort for small non-negative integer keys.
+
+    Provided as an additional oracle and as a fast path for bucket-index
+    arrays produced by the partitioners.
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        return values.copy()
+    if not np.issubdtype(values.dtype, np.integer):
+        raise TypeError("counting sort requires integer keys")
+    if np.any(values < 0):
+        raise ValueError("counting sort requires non-negative keys")
+    hi = int(values.max()) if max_value is None else int(max_value)
+    counts = np.bincount(values, minlength=hi + 1)
+    return np.repeat(np.arange(hi + 1, dtype=values.dtype), counts)

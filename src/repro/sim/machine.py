@@ -1,0 +1,184 @@
+"""The simulated machine: clocks, counters, phases and the world communicator."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.machine.cost import CostModel
+from repro.machine.counters import (
+    PHASE_OTHER,
+    PhaseBreakdown,
+    PhaseTimer,
+    TrafficCounters,
+)
+from repro.machine.spec import MachineSpec
+from repro.machine.topology import Topology, topology_for
+
+
+class SimulatedMachine:
+    """A distributed-memory machine of ``p`` PEs with modelled time.
+
+    The machine does not execute PEs concurrently.  Instead, algorithms are
+    written in a *whole-machine* (lockstep SPMD) style: local work is applied
+    to every PE's data in turn while the machine charges each PE's clock with
+    the modelled time of that work, and communication steps advance the
+    clocks by the modelled communication cost.  Because the algorithms in
+    the paper are bulk synchronous this reproduces the same critical path a
+    real message-passing execution would have, while remaining fully
+    deterministic and runnable on a laptop.
+
+    Parameters
+    ----------
+    p:
+        Number of processing elements.
+    spec:
+        Hardware parameters; defaults to :func:`repro.machine.spec.supermuc_like`.
+    topology:
+        Network topology; defaults to a hierarchical topology matching ``spec``.
+    seed:
+        Seed for the machine's replicated random generator (used for
+        decisions that the paper makes identically on all PEs, e.g. the
+        shared random pivot in multisequence selection).
+    """
+
+    def __init__(
+        self,
+        p: int,
+        spec: Optional[MachineSpec] = None,
+        topology: Optional[Topology] = None,
+        seed: int = 0,
+    ):
+        if p <= 0:
+            raise ValueError(f"need at least one PE, got p={p}")
+        if spec is None:
+            from repro.machine.spec import supermuc_like
+
+            spec = supermuc_like()
+        if topology is None:
+            topology = topology_for(p, spec=spec, kind="hierarchical")
+        if topology.p < p:
+            raise ValueError(
+                f"topology holds only {topology.p} PEs but machine needs {p}"
+            )
+        self.p = int(p)
+        self.spec = spec
+        self.topology = topology
+        self.cost = CostModel(spec, topology)
+        self.clock = np.zeros(self.p, dtype=np.float64)
+        self.counters = TrafficCounters(self.p)
+        self.breakdown = PhaseBreakdown(self.p)
+        self.current_phase: str = PHASE_OTHER
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(self.seed)
+        self._pe_rngs: dict[int, np.random.Generator] = {}
+
+    # ------------------------------------------------------------------
+    # Random number generation
+    # ------------------------------------------------------------------
+    def pe_rng(self, pe: int) -> np.random.Generator:
+        """Deterministic per-PE random generator (for PE-local decisions)."""
+        if not 0 <= pe < self.p:
+            raise IndexError(f"PE index {pe} out of range")
+        gen = self._pe_rngs.get(pe)
+        if gen is None:
+            gen = np.random.default_rng((self.seed + 1) * 1_000_003 + pe)
+            self._pe_rngs[pe] = gen
+        return gen
+
+    # ------------------------------------------------------------------
+    # Clock management
+    # ------------------------------------------------------------------
+    def advance(self, pe: int, seconds: float) -> None:
+        """Advance PE ``pe``'s clock by ``seconds`` attributing it to the current phase."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time {seconds}")
+        if seconds == 0.0:
+            return
+        self.clock[pe] += seconds
+        self.breakdown.add(self.current_phase, pe, seconds)
+
+    def advance_many(self, pes: Sequence[int], seconds: Sequence[float] | float) -> None:
+        """Advance several PE clocks at once."""
+        idx = np.asarray(list(pes), dtype=np.int64)
+        if np.isscalar(seconds):
+            dts = np.full(idx.shape, float(seconds))
+        else:
+            dts = np.asarray(seconds, dtype=np.float64)
+            if dts.shape != idx.shape:
+                raise ValueError("pes and seconds must have the same length")
+        if (dts < 0).any():
+            raise ValueError("cannot advance clock by negative time")
+        self.clock[idx] += dts
+        vec = np.zeros(self.p, dtype=np.float64)
+        np.add.at(vec, idx, dts)
+        self.breakdown.add_many(self.current_phase, vec)
+
+    def synchronize(self, pes: Sequence[int]) -> float:
+        """Barrier over ``pes``: all clocks jump to the maximum clock among them.
+
+        The idle (waiting) time is attributed to the current phase, matching
+        the paper's instrumentation which places an MPI barrier before every
+        phase so that imbalance shows up in the phase that caused it.
+
+        Returns the synchronized time.
+        """
+        idx = np.asarray(list(pes), dtype=np.int64)
+        if idx.size == 0:
+            return 0.0
+        t = float(self.clock[idx].max())
+        waits = t - self.clock[idx]
+        self.clock[idx] = t
+        vec = np.zeros(self.p, dtype=np.float64)
+        np.add.at(vec, idx, waits)
+        self.breakdown.add_many(self.current_phase, vec)
+        return t
+
+    def elapsed(self, pes: Optional[Sequence[int]] = None) -> float:
+        """Maximum clock value (over ``pes`` or over all PEs)."""
+        if pes is None:
+            return float(self.clock.max())
+        idx = np.asarray(list(pes), dtype=np.int64)
+        if idx.size == 0:
+            return 0.0
+        return float(self.clock[idx].max())
+
+    def reset(self) -> None:
+        """Reset clocks, counters, phase breakdown and random generators."""
+        self.clock.fill(0.0)
+        self.counters.reset()
+        self.breakdown.reset()
+        self.current_phase = PHASE_OTHER
+        self.rng = np.random.default_rng(self.seed)
+        self._pe_rngs.clear()
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def phase(self, name: str) -> PhaseTimer:
+        """Context manager attributing subsequent clock advances to ``name``."""
+        return PhaseTimer(self, name)
+
+    # ------------------------------------------------------------------
+    # Communicators
+    # ------------------------------------------------------------------
+    def world(self) -> "Comm":
+        """Communicator spanning all PEs of the machine."""
+        from repro.sim.comm import Comm
+
+        return Comm(self, np.arange(self.p, dtype=np.int64))
+
+    def comm(self, pes: Iterable[int]) -> "Comm":
+        """Communicator over an explicit set of PEs."""
+        from repro.sim.comm import Comm
+
+        members = np.asarray(sorted(set(int(x) for x in pes)), dtype=np.int64)
+        return Comm(self, members)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SimulatedMachine(p={self.p}, spec={self.spec.name!r}, "
+            f"topology={self.topology.describe()})"
+        )

@@ -1,0 +1,66 @@
+"""Input workload generators for experiments, examples and tests.
+
+* :mod:`repro.workloads.generators` — distributions of sort keys used by the
+  paper's experiments (uniform random 64-bit integers) plus standard
+  adversarial distributions (skewed, nearly sorted, heavy duplicates, and
+  the "many tiny pieces" worst case for naive data delivery),
+* :mod:`repro.workloads.records` — sort-benchmark style records (100-byte
+  payload, 10-byte key) used for the Minute-Sort comparison of Section 7.3,
+* :mod:`repro.workloads.morton` — Morton (Z-order) and Hilbert-like
+  space-filling-curve keys for the load-balancing application the paper's
+  introduction motivates.
+"""
+
+from repro.workloads.generators import (
+    WORKLOADS,
+    generate_workload,
+    uniform_keys,
+    gaussian_keys,
+    zipf_keys,
+    nearly_sorted_keys,
+    reverse_sorted_keys,
+    duplicate_heavy_keys,
+    all_equal_keys,
+    staggered_keys,
+    tiny_pieces_worst_case,
+    per_pe_workload,
+)
+from repro.workloads.records import (
+    RECORD_DTYPE,
+    generate_records,
+    record_keys,
+    pack_key_bytes,
+    unpack_key_bytes,
+)
+from repro.workloads.morton import (
+    morton_encode_2d,
+    morton_decode_2d,
+    morton_encode_3d,
+    interleave_bits,
+    particle_morton_keys,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "generate_workload",
+    "uniform_keys",
+    "gaussian_keys",
+    "zipf_keys",
+    "nearly_sorted_keys",
+    "reverse_sorted_keys",
+    "duplicate_heavy_keys",
+    "all_equal_keys",
+    "staggered_keys",
+    "tiny_pieces_worst_case",
+    "per_pe_workload",
+    "RECORD_DTYPE",
+    "generate_records",
+    "record_keys",
+    "pack_key_bytes",
+    "unpack_key_bytes",
+    "morton_encode_2d",
+    "morton_decode_2d",
+    "morton_encode_3d",
+    "interleave_bits",
+    "particle_morton_keys",
+]

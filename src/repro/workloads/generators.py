@@ -1,0 +1,165 @@
+"""Key distributions for sorting experiments.
+
+The paper's weak-scaling experiments sort uniformly random 64-bit integers
+(Section 7).  For the test-suite and for robustness experiments we add the
+usual adversarial distributions from the sorting literature, including the
+"many consecutive PEs contribute only tiny pieces" input that breaks the
+naive data-delivery algorithm (Section 4.3, Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+
+def uniform_keys(n: int, rng: np.random.Generator, high: int = 2**62) -> np.ndarray:
+    """Uniformly random 64-bit integer keys (the paper's workload)."""
+    if n <= 0:
+        return np.empty(0, dtype=np.int64)
+    return rng.integers(0, high, size=n, dtype=np.int64)
+
+
+def gaussian_keys(n: int, rng: np.random.Generator, scale: float = 1e9) -> np.ndarray:
+    """Normally distributed keys rounded to integers (mild clustering)."""
+    if n <= 0:
+        return np.empty(0, dtype=np.int64)
+    return np.round(rng.normal(0.0, scale, size=n)).astype(np.int64)
+
+
+def zipf_keys(n: int, rng: np.random.Generator, a: float = 1.3) -> np.ndarray:
+    """Heavily skewed keys drawn from a Zipf distribution (many duplicates)."""
+    if n <= 0:
+        return np.empty(0, dtype=np.int64)
+    return rng.zipf(a, size=n).astype(np.int64)
+
+
+def nearly_sorted_keys(
+    n: int, rng: np.random.Generator, swap_fraction: float = 0.01
+) -> np.ndarray:
+    """An already sorted sequence with a small fraction of random swaps."""
+    if n <= 0:
+        return np.empty(0, dtype=np.int64)
+    keys = np.arange(n, dtype=np.int64)
+    swaps = max(1, int(n * swap_fraction))
+    idx_a = rng.integers(0, n, size=swaps)
+    idx_b = rng.integers(0, n, size=swaps)
+    keys[idx_a], keys[idx_b] = keys[idx_b].copy(), keys[idx_a].copy()
+    return keys
+
+
+def reverse_sorted_keys(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Strictly decreasing keys."""
+    if n <= 0:
+        return np.empty(0, dtype=np.int64)
+    return np.arange(n, 0, -1, dtype=np.int64)
+
+
+def duplicate_heavy_keys(
+    n: int, rng: np.random.Generator, distinct: int = 16
+) -> np.ndarray:
+    """Keys drawn from a tiny universe (stress test for tie handling)."""
+    if n <= 0:
+        return np.empty(0, dtype=np.int64)
+    return rng.integers(0, max(1, distinct), size=n, dtype=np.int64)
+
+
+def all_equal_keys(n: int, rng: np.random.Generator, value: int = 42) -> np.ndarray:
+    """Every key identical — the most extreme duplicate case."""
+    if n <= 0:
+        return np.empty(0, dtype=np.int64)
+    return np.full(n, value, dtype=np.int64)
+
+
+def staggered_keys(n: int, rng: np.random.Generator, buckets: int = 16) -> np.ndarray:
+    """The 'staggered' distribution: block-wise shifted values.
+
+    Produces inputs where consecutive input blocks map to interleaved key
+    ranges — a classic stress test for splitter-based algorithms.
+    """
+    if n <= 0:
+        return np.empty(0, dtype=np.int64)
+    idx = np.arange(n, dtype=np.int64)
+    block = np.maximum(1, n // max(1, buckets))
+    block_id = idx // block
+    within = idx % block
+    return ((block_id % 2) * (n // 2) + (block_id // 2) * block + within).astype(np.int64)
+
+
+WORKLOADS: Dict[str, Callable[..., np.ndarray]] = {
+    "uniform": uniform_keys,
+    "gaussian": gaussian_keys,
+    "zipf": zipf_keys,
+    "nearly_sorted": nearly_sorted_keys,
+    "reverse": reverse_sorted_keys,
+    "duplicates": duplicate_heavy_keys,
+    "all_equal": all_equal_keys,
+    "staggered": staggered_keys,
+}
+
+
+def generate_workload(
+    name: str, n: int, rng: np.random.Generator | int = 0, **kwargs
+) -> np.ndarray:
+    """Generate ``n`` keys of the named distribution.
+
+    ``rng`` may be a seed or an existing :class:`numpy.random.Generator`.
+    """
+    if isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(int(rng))
+    try:
+        factory = WORKLOADS[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; known workloads: {known}") from exc
+    return factory(n, rng, **kwargs)
+
+
+def per_pe_workload(
+    name: str, p: int, n_per_pe: int, seed: int = 0, **kwargs
+) -> List[np.ndarray]:
+    """Generate one local input array per PE (independent streams per PE)."""
+    if p <= 0:
+        raise ValueError("p must be positive")
+    out: List[np.ndarray] = []
+    for i in range(p):
+        rng = np.random.default_rng((seed + 1) * 99991 + i)
+        out.append(generate_workload(name, n_per_pe, rng, **kwargs))
+    return out
+
+
+def tiny_pieces_worst_case(
+    p: int, r: int, n_per_pe: int, seed: int = 0
+) -> List[np.ndarray]:
+    """Adversarial input for the naive data-delivery algorithm (Figure 3).
+
+    Almost all PEs hold only a handful of elements destined for each group
+    while a few PEs hold the bulk, so the naive prefix-sum enumeration packs
+    a long run of tiny pieces onto a single receiving PE.  Returned as one
+    local array per PE; keys are arranged so that a splitter-based partition
+    into ``r`` ranges reproduces the tiny/huge piece pattern.
+    """
+    if p <= 0 or r <= 0:
+        raise ValueError("p and r must be positive")
+    rng = np.random.default_rng(seed)
+    out: List[np.ndarray] = []
+    heavy = max(1, p // r)  # one heavy PE per group's worth of senders
+    key_range = 10**9
+    bucket_width = key_range // r
+    for i in range(p):
+        if i % max(1, p // heavy) == 0:
+            # heavy PE: full-size contribution spread over all key ranges
+            keys = rng.integers(0, key_range, size=n_per_pe, dtype=np.int64)
+        else:
+            # tiny PE: a couple of elements per group range
+            per_group = max(1, n_per_pe // (50 * r))
+            keys = np.concatenate(
+                [
+                    rng.integers(g * bucket_width, (g + 1) * bucket_width,
+                                 size=per_group, dtype=np.int64)
+                    for g in range(r)
+                ]
+            )
+        out.append(keys)
+    return out

@@ -1,0 +1,55 @@
+"""Tests for :mod:`repro.analysis.calibration`."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    CalibrationResult,
+    calibrate_spec,
+    measure_local_costs,
+)
+from repro.machine.spec import laptop_like
+
+
+class TestMeasureLocalCosts:
+    def test_returns_positive_constants(self):
+        result = measure_local_costs(sample_size=20_000, repeats=1)
+        assert result.comparison_ns > 0
+        assert result.merge_ns > 0
+        assert result.partition_ns > 0
+        assert result.move_ns > 0
+        assert result.sample_size == 20_000
+
+    def test_sample_size_validation(self):
+        with pytest.raises(ValueError):
+            measure_local_costs(sample_size=10)
+
+    def test_as_dict(self):
+        result = CalibrationResult(1.0, 2.0, 3.0, 4.0, 1000)
+        d = result.as_dict()
+        assert d["comparison_ns"] == 1.0
+        assert d["move_ns"] == 4.0
+
+    def test_copy_cheaper_than_sort(self):
+        """Per-element copying is cheaper than per-comparison sorting work by
+        construction of the normalisation (sort is divided by log n)."""
+        result = measure_local_costs(sample_size=50_000, repeats=2)
+        assert result.move_ns < result.comparison_ns * 200  # sanity, not timing-exact
+
+
+class TestCalibrateSpec:
+    def test_network_parameters_untouched(self):
+        base = laptop_like()
+        calibrated = calibrate_spec(base, sample_size=20_000)
+        assert calibrated.alpha == base.alpha
+        assert calibrated.beta == base.beta
+        assert calibrated.cores_per_node == base.cores_per_node
+        assert calibrated.name.endswith("-calibrated")
+
+    def test_local_constants_replaced(self):
+        base = laptop_like().with_overrides(comparison_ns=123456.0)
+        calibrated = calibrate_spec(base, sample_size=20_000)
+        assert calibrated.comparison_ns != base.comparison_ns
+
+    def test_default_base(self):
+        calibrated = calibrate_spec(sample_size=20_000)
+        assert calibrated.comparison_ns > 0

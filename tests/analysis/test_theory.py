@@ -1,0 +1,116 @@
+"""Tests for :mod:`repro.analysis.theory`."""
+
+import pytest
+
+from repro.analysis.theory import (
+    ams_sort_time_model,
+    exch_lower_bound,
+    isoefficiency_ams,
+    isoefficiency_rlm,
+    isoefficiency_single_level,
+    rlm_sort_time_model,
+    single_level_sample_sort_time_model,
+    startup_bound_multilevel,
+)
+from repro.machine.spec import supermuc_like
+
+
+SPEC = supermuc_like()
+
+
+class TestExchBound:
+    def test_formula(self):
+        t = exch_lower_bound(SPEC, 1000, 10, level=0)
+        assert t == pytest.approx(1000 * SPEC.beta + 10 * SPEC.alpha)
+
+    def test_island_level_costs_more(self):
+        assert exch_lower_bound(SPEC, 10**6, 1, level=2) > \
+               exch_lower_bound(SPEC, 10**6, 1, level=0)
+
+
+class TestStartupBound:
+    def test_single_level_is_p(self):
+        assert startup_bound_multilevel(4096, 1) == pytest.approx(4096)
+
+    def test_two_levels_sqrt(self):
+        assert startup_bound_multilevel(4096, 2) == pytest.approx(2 * 64)
+
+    def test_more_levels_fewer_startups_for_large_p(self):
+        assert startup_bound_multilevel(32768, 3) < startup_bound_multilevel(32768, 2) \
+               < startup_bound_multilevel(32768, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            startup_bound_multilevel(0, 1)
+
+
+class TestTimeModels:
+    def test_components_positive(self):
+        for model in (rlm_sort_time_model, ams_sort_time_model):
+            terms = model(SPEC, n=10**8, p=1024, levels=2)
+            assert all(v >= 0 for v in terms.values())
+            assert terms["total"] == pytest.approx(
+                sum(v for k, v in terms.items() if k != "total")
+            )
+
+    def test_single_level_model(self):
+        terms = single_level_sample_sort_time_model(SPEC, n=10**8, p=1024)
+        assert terms["total"] > 0
+        assert terms["exchange"] > terms["splitter"] * 0  # present
+
+    def test_multilevel_beats_single_level_for_small_n_per_pe(self):
+        """The regime of the paper: small n/p, large p — the p startups of the
+        single-level algorithm dominate and the 2-level algorithm wins."""
+        n_per_pe = 10**4
+        p = 32768
+        single = single_level_sample_sort_time_model(SPEC, n=n_per_pe * p, p=p)
+        multi = ams_sort_time_model(SPEC, n=n_per_pe * p, p=p, levels=2)
+        assert multi["total"] < single["total"]
+
+    def test_single_level_wins_for_huge_n_per_pe(self):
+        """For very large n/p the extra data movement of multi-level dominates."""
+        n_per_pe = 10**8
+        p = 256
+        single = single_level_sample_sort_time_model(SPEC, n=n_per_pe * p, p=p)
+        multi = ams_sort_time_model(SPEC, n=n_per_pe * p, p=p, levels=3)
+        assert single["total"] < multi["total"] * 1.5
+
+    def test_ams_model_cheaper_than_rlm_for_small_inputs(self):
+        n_per_pe = 10**3
+        p = 32768
+        ams = ams_sort_time_model(SPEC, n=n_per_pe * p, p=p, levels=2)
+        rlm = rlm_sort_time_model(SPEC, n=n_per_pe * p, p=p, levels=2)
+        assert ams["total"] <= rlm["total"]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            rlm_sort_time_model(SPEC, 0, 1, 1)
+        with pytest.raises(ValueError):
+            ams_sort_time_model(SPEC, 10, 2, 1, eps=0)
+
+
+class TestIsoefficiency:
+    def test_relative_order(self):
+        # AMS-sort always has the best (smallest) isoefficiency; RLM-sort only
+        # beats the single-level bound once sqrt(p) outgrows log^2 p.
+        p = 4096
+        assert isoefficiency_ams(p, 2) < isoefficiency_rlm(p, 2)
+        assert isoefficiency_ams(p, 2) < isoefficiency_single_level(p)
+        p_large = 2**20
+        assert isoefficiency_rlm(p_large, 2) < isoefficiency_single_level(p_large)
+
+    def test_ams_gap_is_log_squared(self):
+        import math
+
+        p = 2**15
+        ratio = isoefficiency_rlm(p, 2) / isoefficiency_ams(p, 2)
+        assert ratio == pytest.approx(math.log2(p) ** 2)
+
+    def test_more_levels_improve_isoefficiency(self):
+        p = 2**20
+        assert isoefficiency_ams(p, 3) < isoefficiency_ams(p, 2)
+
+    def test_trivial_p(self):
+        assert isoefficiency_ams(1, 2) == 1.0
+        assert isoefficiency_rlm(1, 2) == 1.0
+        assert isoefficiency_single_level(1) == 1.0

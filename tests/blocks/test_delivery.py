@@ -1,0 +1,199 @@
+"""Tests for :mod:`repro.blocks.delivery` (data delivery to PE groups)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blocks.delivery import DELIVERY_METHODS, deliver_to_groups
+from repro.machine.spec import laptop_like
+from repro.sim.machine import SimulatedMachine
+
+
+def make_comm(p):
+    return SimulatedMachine(p, spec=laptop_like(), seed=9).world()
+
+
+def random_pieces(p, r, seed=0, max_piece=30):
+    """pieces[i][j]: keys in the j-th value range so group ordering is checkable."""
+    rng = np.random.default_rng(seed)
+    pieces = []
+    for i in range(p):
+        row = []
+        for j in range(r):
+            size = int(rng.integers(0, max_piece + 1))
+            row.append(rng.integers(j * 1000, (j + 1) * 1000, size=size, dtype=np.int64))
+        pieces.append(row)
+    return pieces
+
+
+def total_of_group(pieces, j):
+    return int(sum(pieces[i][j].size for i in range(len(pieces))))
+
+
+@pytest.mark.parametrize("method", DELIVERY_METHODS)
+class TestDeliveryAllMethods:
+    def test_conservation_and_group_membership(self, method):
+        p, r = 8, 4
+        comm = make_comm(p)
+        groups = comm.split(r)
+        pieces = random_pieces(p, r, seed=1)
+        result = deliver_to_groups(comm, groups, pieces, method=method)
+        # every element arrives exactly once, in the right group's key range
+        for j, group in enumerate(groups):
+            received = []
+            for rank in range(p):
+                if result.group_of_rank[rank] == j:
+                    received.append(result.received_concat(rank))
+            got = np.sort(np.concatenate([x for x in received if x.size]) if received else np.empty(0))
+            expected = np.sort(np.concatenate([pieces[i][j] for i in range(p)]))
+            assert np.array_equal(got, expected)
+
+    def test_balance_within_groups(self, method):
+        p, r = 8, 2
+        comm = make_comm(p)
+        groups = comm.split(r)
+        pieces = random_pieces(p, r, seed=2, max_piece=50)
+        result = deliver_to_groups(comm, groups, pieces, method=method)
+        for j, group in enumerate(groups):
+            m_j = total_of_group(pieces, j)
+            p_g = group.size
+            cap = math.ceil(m_j / p_g) if m_j else 0
+            ranks = [rank for rank in range(p) if result.group_of_rank[rank] == j]
+            sizes = [int(result.received_sizes[rank]) for rank in ranks]
+            # deterministic method may exceed the block capacity slightly due
+            # to whole small pieces; allow the documented slack.
+            slack = cap if method == "deterministic" else 1
+            assert max(sizes, default=0) <= cap + slack
+
+    def test_time_charged_and_counters(self, method):
+        p, r = 6, 3
+        comm = make_comm(p)
+        groups = comm.split(r)
+        pieces = random_pieces(p, r, seed=3)
+        deliver_to_groups(comm, groups, pieces, method=method)
+        assert comm.machine.elapsed() > 0
+
+    def test_empty_pieces_everywhere(self, method):
+        p, r = 4, 2
+        comm = make_comm(p)
+        groups = comm.split(r)
+        pieces = [[np.empty(0, dtype=np.int64) for _ in range(r)] for _ in range(p)]
+        result = deliver_to_groups(comm, groups, pieces, method=method)
+        assert result.received_sizes.sum() == 0
+
+    def test_group_loads_reported(self, method):
+        p, r = 6, 3
+        comm = make_comm(p)
+        groups = comm.split(r)
+        pieces = random_pieces(p, r, seed=4)
+        result = deliver_to_groups(comm, groups, pieces, method=method)
+        for j in range(r):
+            assert result.group_loads[j] == total_of_group(pieces, j)
+
+
+class TestDeliveryValidation:
+    def test_unknown_method(self):
+        comm = make_comm(4)
+        groups = comm.split(2)
+        pieces = random_pieces(4, 2)
+        with pytest.raises(ValueError):
+            deliver_to_groups(comm, groups, pieces, method="teleport")
+
+    def test_wrong_piece_arity(self):
+        comm = make_comm(4)
+        groups = comm.split(2)
+        pieces = [[np.empty(0)] for _ in range(4)]  # only one piece per PE
+        with pytest.raises(ValueError):
+            deliver_to_groups(comm, groups, pieces)
+
+    def test_groups_must_partition(self):
+        comm = make_comm(6)
+        groups = comm.split(3)[:2]  # drop one group
+        pieces = random_pieces(6, 2)
+        with pytest.raises(ValueError):
+            deliver_to_groups(comm, groups, pieces)
+
+    def test_zero_groups(self):
+        comm = make_comm(4)
+        with pytest.raises(ValueError):
+            deliver_to_groups(comm, [], [[] for _ in range(4)])
+
+
+class TestMessageBounds:
+    def test_sender_message_bound(self):
+        """Each PE sends at most O(r) messages (pieces split over <= a few targets)."""
+        p, r = 16, 4
+        comm = make_comm(p)
+        groups = comm.split(r)
+        pieces = random_pieces(p, r, seed=5, max_piece=40)
+        result = deliver_to_groups(comm, groups, pieces, method="deterministic")
+        assert result.max_sent_messages() <= 3 * r
+
+    def test_naive_worst_case_concentrates_messages(self):
+        """The adversarial tiny-piece input makes one PE of each group receive
+        a message from nearly every sender under naive delivery ..."""
+        p, r = 16, 2
+        comm = make_comm(p)
+        groups = comm.split(r)
+        pieces = []
+        for i in range(p):
+            if i == 0:
+                pieces.append([np.arange(200), np.arange(200)])
+            else:
+                pieces.append([np.array([1]), np.array([1])])
+        naive = deliver_to_groups(comm, groups, pieces, method="naive")
+        assert naive.max_received_messages() >= p - 2
+
+    def test_randomization_or_determinism_spreads_messages(self):
+        """... while the deterministic two-phase algorithm bounds it by O(r)."""
+        p, r = 16, 2
+        comm = make_comm(p)
+        groups = comm.split(r)
+        pieces = []
+        for i in range(p):
+            if i == 0:
+                pieces.append([np.arange(200), np.arange(200)])
+            else:
+                pieces.append([np.array([1]), np.array([1])])
+        det = deliver_to_groups(comm, groups, pieces, method="deterministic")
+        naive = deliver_to_groups(make_comm(p), make_comm(p).split(r), pieces, method="naive")
+        assert det.max_received_messages() < naive.max_received_messages()
+        assert det.max_received_messages() <= 2 * r + 2
+
+    def test_advanced_bounds_received_messages(self):
+        p, r = 16, 4
+        comm = make_comm(p)
+        groups = comm.split(r)
+        pieces = random_pieces(p, r, seed=6, max_piece=100)
+        result = deliver_to_groups(comm, groups, pieces, method="advanced", oversplit=2.0)
+        # Lemma 6: <= 1 + 2r(1 + 1/a) received messages w.h.p.
+        assert result.max_received_messages() <= 1 + 2 * r * (1 + 1 / 2.0) + r
+
+
+class TestDeliveryProperties:
+    @given(
+        st.integers(2, 8),
+        st.integers(1, 4),
+        st.integers(0, 10_000),
+        st.sampled_from(list(DELIVERY_METHODS)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_conservation(self, p, r, seed, method):
+        r = min(r, p)
+        comm = make_comm(p)
+        groups = comm.split(r)
+        pieces = random_pieces(p, r, seed=seed, max_piece=12)
+        result = deliver_to_groups(comm, groups, pieces, method=method, seed=seed)
+        sent = sorted(
+            np.concatenate(
+                [pieces[i][j] for i in range(p) for j in range(r)]
+            ).tolist()
+        ) if any(pieces[i][j].size for i in range(p) for j in range(r)) else []
+        received = sorted(
+            np.concatenate(
+                [result.received_concat(rank) for rank in range(p)]
+            ).tolist()
+        ) if result.received_sizes.sum() else []
+        assert sent == received

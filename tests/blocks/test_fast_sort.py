@@ -1,0 +1,141 @@
+"""Tests for :mod:`repro.blocks.fast_sort` (fast work-inefficient sorting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blocks.fast_sort import (
+    fast_work_inefficient_sort,
+    grid_shape,
+    select_splitters_by_rank,
+)
+from repro.machine.counters import PHASE_SPLITTER_SELECTION
+from repro.machine.spec import laptop_like
+from repro.sim.machine import SimulatedMachine
+
+
+def make_comm(p):
+    return SimulatedMachine(p, spec=laptop_like(), seed=5).world()
+
+
+class TestGridShape:
+    @pytest.mark.parametrize("p,rows,cols", [(1, 1, 1), (2, 2, 1), (4, 2, 2),
+                                             (8, 4, 2), (16, 4, 4), (64, 8, 8)])
+    def test_powers_of_two(self, p, rows, cols):
+        shape = grid_shape(p)
+        assert (shape.rows, shape.cols) == (rows, cols)
+
+    @pytest.mark.parametrize("p", [3, 5, 6, 7, 12, 50])
+    def test_general_p_fits(self, p):
+        shape = grid_shape(p)
+        assert 1 <= shape.size <= p
+        assert shape.rows * shape.cols == shape.size
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_shape(0)
+
+
+class TestFastSort:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+    def test_global_ranks_are_a_permutation(self, p):
+        comm = make_comm(p)
+        rng = np.random.default_rng(p)
+        local = [rng.integers(0, 10**6, size=5) for _ in range(p)]
+        sorted_vals, sorted_ids, per_pe_vals, per_pe_ranks = fast_work_inefficient_sort(
+            comm, local
+        )
+        total = 5 * p
+        all_ranks = np.concatenate(per_pe_ranks)
+        assert sorted(all_ranks.tolist()) == list(range(total))
+        assert np.all(np.diff(sorted_vals) >= 0)
+        assert sorted_vals.size == total
+
+    def test_ranks_respect_values(self):
+        comm = make_comm(4)
+        local = [np.array([10, 40]), np.array([20]), np.array([30, 5]), np.array([1])]
+        sorted_vals, _, per_pe_vals, per_pe_ranks = fast_work_inefficient_sort(comm, local)
+        flat_vals = np.concatenate(per_pe_vals)
+        flat_ranks = np.concatenate(per_pe_ranks)
+        order = np.argsort(flat_ranks)
+        assert np.all(np.diff(flat_vals[order]) >= 0)
+        assert sorted_vals.tolist() == sorted(flat_vals.tolist())
+
+    def test_duplicates_get_distinct_ranks(self):
+        comm = make_comm(4)
+        local = [np.full(3, 7) for _ in range(4)]
+        _, _, _, per_pe_ranks = fast_work_inefficient_sort(comm, local)
+        all_ranks = np.concatenate(per_pe_ranks)
+        assert sorted(all_ranks.tolist()) == list(range(12))
+
+    def test_non_power_of_two_pe_count(self):
+        comm = make_comm(6)
+        rng = np.random.default_rng(0)
+        local = [rng.integers(0, 100, size=4) for _ in range(6)]
+        sorted_vals, _, _, per_pe_ranks = fast_work_inefficient_sort(comm, local)
+        assert sorted_vals.size == 24
+        assert sorted(np.concatenate(per_pe_ranks).tolist()) == list(range(24))
+
+    def test_empty_contributions(self):
+        comm = make_comm(4)
+        local = [np.empty(0, dtype=np.int64), np.array([3, 1]),
+                 np.empty(0, dtype=np.int64), np.array([2])]
+        sorted_vals, _, _, per_pe_ranks = fast_work_inefficient_sort(comm, local)
+        assert sorted_vals.tolist() == [1, 2, 3]
+        assert per_pe_ranks[0].size == 0
+
+    def test_all_empty(self):
+        comm = make_comm(4)
+        local = [np.empty(0, dtype=np.int64) for _ in range(4)]
+        sorted_vals, ids, _, _ = fast_work_inefficient_sort(comm, local)
+        assert sorted_vals.size == 0
+
+    def test_charges_splitter_selection_phase(self):
+        comm = make_comm(8)
+        rng = np.random.default_rng(0)
+        local = [rng.integers(0, 100, 8) for _ in range(8)]
+        fast_work_inefficient_sort(comm, local)
+        assert comm.machine.breakdown.max_time(PHASE_SPLITTER_SELECTION) > 0
+
+    def test_wrong_arity(self):
+        comm = make_comm(4)
+        with pytest.raises(ValueError):
+            fast_work_inefficient_sort(comm, [np.array([1])])
+
+    @given(st.integers(1, 9), st.integers(0, 6), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_property_sorted_union(self, p, per_pe, seed):
+        comm = make_comm(p)
+        rng = np.random.default_rng(seed)
+        local = [rng.integers(0, 50, size=per_pe) for _ in range(p)]
+        sorted_vals, _, _, _ = fast_work_inefficient_sort(comm, local)
+        expected = np.sort(np.concatenate(local)) if per_pe else np.empty(0)
+        assert sorted_vals.tolist() == expected.tolist()
+
+
+class TestSplitterSelection:
+    def test_splitters_are_sorted_and_in_range(self):
+        comm = make_comm(8)
+        rng = np.random.default_rng(1)
+        local = [rng.integers(0, 1000, 20) for _ in range(8)]
+        splitters = select_splitters_by_rank(comm, local, 15)
+        assert splitters.size == 15
+        assert np.all(np.diff(splitters) >= 0)
+        union = np.concatenate(local)
+        assert np.all(np.isin(splitters, union))
+
+    def test_splitters_roughly_equidistant(self):
+        comm = make_comm(4)
+        local = [np.arange(i * 100, (i + 1) * 100) for i in range(4)]
+        splitters = select_splitters_by_rank(comm, local, 3)
+        assert splitters.tolist() == [100, 200, 300]
+
+    def test_zero_splitters(self):
+        comm = make_comm(4)
+        local = [np.arange(5) for _ in range(4)]
+        assert select_splitters_by_rank(comm, local, 0).size == 0
+
+    def test_empty_sample(self):
+        comm = make_comm(4)
+        local = [np.empty(0, dtype=np.int64) for _ in range(4)]
+        assert select_splitters_by_rank(comm, local, 7).size == 0

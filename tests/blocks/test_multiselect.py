@@ -1,0 +1,123 @@
+"""Tests for :mod:`repro.blocks.multiselect` (distributed multisequence selection)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blocks.multiselect import multisequence_select
+from repro.machine.spec import laptop_like
+from repro.seq.select import split_positions_are_consistent
+from repro.sim.machine import SimulatedMachine
+
+
+def make_comm(p):
+    return SimulatedMachine(p, spec=laptop_like(), seed=3).world()
+
+
+def sorted_local_data(p, sizes, seed=0, high=1000):
+    rng = np.random.default_rng(seed)
+    return [np.sort(rng.integers(0, high, size=s)) for s in sizes]
+
+
+class TestMultisequenceSelect:
+    def test_exact_ranks(self):
+        comm = make_comm(4)
+        data = sorted_local_data(4, [50, 50, 50, 50], seed=1)
+        total = 200
+        ranks = [50, 100, 150]
+        result = multisequence_select(comm, data, ranks)
+        assert result.splits.shape == (3, 4)
+        for t, k in enumerate(ranks):
+            assert int(result.splits[t].sum()) == k
+            assert split_positions_are_consistent(data, result.splits[t])
+
+    def test_trivial_ranks(self):
+        comm = make_comm(3)
+        data = sorted_local_data(3, [10, 10, 10])
+        result = multisequence_select(comm, data, [0, 30])
+        assert result.splits[0].sum() == 0
+        assert result.splits[1].sum() == 30
+
+    def test_uneven_local_sizes(self):
+        comm = make_comm(4)
+        data = sorted_local_data(4, [0, 5, 100, 13], seed=2)
+        result = multisequence_select(comm, data, [59])
+        assert int(result.splits[0].sum()) == 59
+        assert split_positions_are_consistent(data, result.splits[0])
+
+    def test_heavy_duplicates(self):
+        comm = make_comm(4)
+        data = [np.full(20, 7) for _ in range(4)]
+        result = multisequence_select(comm, data, [13, 40, 66])
+        for t, k in enumerate([13, 40, 66]):
+            assert int(result.splits[t].sum()) == k
+
+    def test_all_data_on_one_pe(self):
+        comm = make_comm(4)
+        data = [np.sort(np.random.default_rng(0).integers(0, 100, 40)),
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64)]
+        result = multisequence_select(comm, data, [10, 20, 30])
+        assert result.splits[:, 0].tolist() == [10, 20, 30]
+
+    def test_unsorted_input_rejected(self):
+        comm = make_comm(2)
+        with pytest.raises(ValueError):
+            multisequence_select(comm, [np.array([3, 1]), np.array([1])], [1])
+
+    def test_bad_rank_rejected(self):
+        comm = make_comm(2)
+        data = [np.array([1]), np.array([2])]
+        with pytest.raises(ValueError):
+            multisequence_select(comm, data, [5])
+        with pytest.raises(ValueError):
+            multisequence_select(comm, data, [2, 1])
+
+    def test_wrong_arity(self):
+        comm = make_comm(3)
+        with pytest.raises(ValueError):
+            multisequence_select(comm, [np.array([1])], [0])
+
+    def test_charges_time(self):
+        comm = make_comm(4)
+        data = sorted_local_data(4, [100] * 4, seed=5)
+        multisequence_select(comm, data, [200])
+        assert comm.machine.elapsed() > 0
+
+    def test_splits_monotone_across_ranks(self):
+        comm = make_comm(4)
+        data = sorted_local_data(4, [30] * 4, seed=9)
+        ranks = [20, 40, 60, 100]
+        result = multisequence_select(comm, data, ranks)
+        diffs = np.diff(result.splits, axis=0)
+        assert np.all(diffs >= 0)
+
+    def test_pieces_for_pe(self):
+        comm = make_comm(2)
+        data = [np.arange(10), np.arange(10, 20)]
+        result = multisequence_select(comm, data, [5, 15])
+        slices = result.pieces_for_pe(0, 10)
+        assert len(slices) == 3
+        covered = sum(s.stop - s.start for s in slices)
+        assert covered == 10
+
+    @given(
+        st.integers(2, 5),
+        st.lists(st.integers(0, 25), min_size=2, max_size=5),
+        st.integers(0, 1000),
+        st.integers(0, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_exact_and_consistent(self, p, sizes, seed, key_range_exp):
+        p = min(p, len(sizes))
+        sizes = sizes[:p]
+        high = 2 ** key_range_exp + 1  # small ranges force many duplicates
+        comm = make_comm(p)
+        data = sorted_local_data(p, sizes, seed=seed, high=high)
+        total = int(sum(sizes))
+        rng = np.random.default_rng(seed + 1)
+        ranks = sorted(int(x) for x in rng.integers(0, total + 1, size=3))
+        result = multisequence_select(comm, data, ranks)
+        for t, k in enumerate(ranks):
+            assert int(result.splits[t].sum()) == k
+            assert split_positions_are_consistent(data, result.splits[t])

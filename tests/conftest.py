@@ -1,0 +1,36 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.spec import laptop_like, supermuc_like
+from repro.sim.machine import SimulatedMachine
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_machine() -> SimulatedMachine:
+    """A small 8-PE machine with laptop-like parameters."""
+    return SimulatedMachine(8, spec=laptop_like(), seed=7)
+
+
+@pytest.fixture
+def medium_machine() -> SimulatedMachine:
+    """A 32-PE machine with SuperMUC-like parameters (node size 16)."""
+    return SimulatedMachine(32, spec=supermuc_like(), seed=11)
+
+
+def make_local_data(p: int, n_per_pe: int, seed: int = 0, high: int = 10**9):
+    """Uniform random per-PE integer arrays (test helper)."""
+    out = []
+    for i in range(p):
+        gen = np.random.default_rng(seed * 1000 + i)
+        out.append(gen.integers(0, high, size=n_per_pe, dtype=np.int64))
+    return out

@@ -1,0 +1,127 @@
+"""Tests for :mod:`repro.core.rlm_sort`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import RLMConfig
+from repro.core.rlm_sort import rlm_sort
+from repro.core.validation import check_globally_sorted, check_permutation
+from repro.machine.counters import PAPER_PHASES
+from repro.machine.spec import laptop_like
+from repro.sim.machine import SimulatedMachine
+from repro.workloads.generators import per_pe_workload
+
+
+def run_rlm(p, n_per_pe, workload="uniform", seed=0, **cfg_kwargs):
+    machine = SimulatedMachine(p, spec=laptop_like(), seed=seed)
+    data = per_pe_workload(workload, p, n_per_pe, seed=seed)
+    cfg_kwargs.setdefault("node_size", 4)
+    config = RLMConfig(**cfg_kwargs)
+    output = rlm_sort(machine.world(), data, config=config)
+    return machine, data, output
+
+
+class TestRLMCorrectness:
+    @pytest.mark.parametrize("levels", [1, 2, 3])
+    def test_sorted_permutation(self, levels):
+        machine, data, output = run_rlm(16, 200, levels=levels)
+        assert check_globally_sorted(output)
+        assert check_permutation(data, output)
+
+    def test_single_pe(self):
+        machine, data, output = run_rlm(1, 100)
+        assert output[0].tolist() == sorted(data[0].tolist())
+
+    def test_non_power_of_two(self):
+        machine, data, output = run_rlm(10, 150, levels=2)
+        assert check_globally_sorted(output)
+        assert check_permutation(data, output)
+
+    @pytest.mark.parametrize("workload", ["uniform", "duplicates", "all_equal",
+                                          "reverse", "zipf"])
+    def test_adversarial_workloads(self, workload):
+        machine, data, output = run_rlm(8, 120, workload=workload, levels=2)
+        assert check_globally_sorted(output)
+        assert check_permutation(data, output)
+
+    def test_empty_input(self):
+        machine = SimulatedMachine(4, spec=laptop_like())
+        data = [np.empty(0, dtype=np.int64) for _ in range(4)]
+        output = rlm_sort(machine.world(), data, config=RLMConfig(node_size=2))
+        assert all(o.size == 0 for o in output)
+
+    def test_unequal_local_sizes(self):
+        machine = SimulatedMachine(5, spec=laptop_like())
+        rng = np.random.default_rng(1)
+        data = [rng.integers(0, 100, size=s) for s in (7, 0, 300, 21, 64)]
+        output = rlm_sort(machine.world(), data, config=RLMConfig(levels=2, node_size=2))
+        assert check_globally_sorted(output)
+        assert check_permutation(data, output)
+
+    def test_wrong_arity(self):
+        machine = SimulatedMachine(3, spec=laptop_like())
+        with pytest.raises(ValueError):
+            rlm_sort(machine.world(), [np.array([1])])
+
+    @pytest.mark.parametrize("delivery", ["naive", "randomized", "deterministic", "advanced"])
+    def test_all_delivery_methods(self, delivery):
+        machine, data, output = run_rlm(8, 150, levels=2, delivery=delivery)
+        assert check_globally_sorted(output)
+        assert check_permutation(data, output)
+
+
+class TestRLMPerfectBalance:
+    """RLM-sort's distinguishing feature: perfectly balanced output."""
+
+    @pytest.mark.parametrize("levels", [1, 2])
+    def test_output_sizes_differ_by_at_most_group_rounding(self, levels):
+        p, n_per_pe = 16, 257  # deliberately not divisible
+        machine, data, output = run_rlm(p, n_per_pe, levels=levels)
+        total = sum(d.size for d in data)
+        sizes = np.array([o.size for o in output])
+        assert sizes.sum() == total
+        # every PE ends up within a few elements of n/p (rounding per level)
+        assert sizes.max() - sizes.min() <= 2 * levels + 2
+
+    def test_balance_on_skewed_input(self):
+        machine, data, output = run_rlm(8, 400, workload="zipf", levels=2)
+        sizes = np.array([o.size for o in output])
+        assert sizes.max() - sizes.min() <= 6
+
+
+class TestRLMInstrumentation:
+    def test_phases_recorded(self):
+        machine, _, _ = run_rlm(16, 300, levels=2)
+        for phase in PAPER_PHASES:
+            assert machine.breakdown.max_time(phase) > 0
+
+    def test_multilevel_reduces_startups(self):
+        m1, _, _ = run_rlm(64, 100, levels=1, seed=4)
+        m2, _, _ = run_rlm(64, 100, levels=2, seed=4)
+        assert m2.counters.max_startups() < m1.counters.max_startups()
+
+    def test_deterministic_given_seed(self):
+        m1, _, out1 = run_rlm(8, 200, levels=2, seed=6)
+        m2, _, out2 = run_rlm(8, 200, levels=2, seed=6)
+        assert m1.elapsed() == pytest.approx(m2.elapsed())
+        for a, b in zip(out1, out2):
+            assert np.array_equal(a, b)
+
+
+class TestRLMProperty:
+    @given(
+        st.integers(2, 8),
+        st.integers(0, 50),
+        st.integers(1, 3),
+        st.integers(0, 500),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_sorted_permutation(self, p, n_per_pe, levels, seed):
+        machine = SimulatedMachine(p, spec=laptop_like(), seed=seed)
+        rng = np.random.default_rng(seed)
+        data = [rng.integers(0, 40, size=rng.integers(0, n_per_pe + 1)) for _ in range(p)]
+        output = rlm_sort(machine.world(), data,
+                          config=RLMConfig(levels=levels, node_size=2))
+        assert check_globally_sorted(output)
+        assert check_permutation(data, output)

@@ -1,0 +1,124 @@
+"""Tests for :mod:`repro.core.runner`."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AMSConfig, RLMConfig
+from repro.core.runner import (
+    ALGORITHMS,
+    SortResult,
+    distribute_array,
+    run_on_machine,
+    sort_array,
+)
+from repro.machine.counters import PAPER_PHASES
+from repro.machine.spec import laptop_like
+from repro.sim.machine import SimulatedMachine
+
+
+class TestDistributeArray:
+    def test_even_split(self):
+        chunks = distribute_array(np.arange(100), 4)
+        assert [c.size for c in chunks] == [25, 25, 25, 25]
+
+    def test_uneven_split(self):
+        chunks = distribute_array(np.arange(10), 3)
+        assert sum(c.size for c in chunks) == 10
+        assert len(chunks) == 3
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            distribute_array(np.arange(4), 0)
+
+
+class TestSortArray:
+    def test_quickstart_flow(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 10**6, size=5000)
+        result = sort_array(data, p=8, algorithm="ams",
+                            config=AMSConfig(levels=2, node_size=2),
+                            spec=laptop_like())
+        assert np.array_equal(np.concatenate(result.output), np.sort(data))
+        assert result.p == 8
+        assert result.n_total == 5000
+        assert result.total_time > 0
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_all_registered_algorithms(self, algorithm):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 1000, size=800)
+        config = None
+        if algorithm == "ams":
+            config = AMSConfig(levels=2, node_size=2)
+        elif algorithm == "rlm":
+            config = RLMConfig(levels=2, node_size=2)
+        result = sort_array(data, p=8, algorithm=algorithm, config=config,
+                            spec=laptop_like())
+        assert np.array_equal(np.concatenate(result.output), np.sort(data))
+
+    def test_algorithm_aliases(self):
+        data = np.random.default_rng(2).integers(0, 100, 200)
+        for alias in ("AMS-sort", "rlm-sort", "mp-sort", "sample-sort", "quick-sort"):
+            result = sort_array(data, p=4, algorithm=alias, spec=laptop_like())
+            assert np.array_equal(np.concatenate(result.output), np.sort(data))
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            sort_array(np.arange(10), p=2, algorithm="bogosort")
+
+
+class TestRunOnMachine:
+    def test_machine_reset_between_runs(self):
+        machine = SimulatedMachine(4, spec=laptop_like())
+        data = [np.random.default_rng(i).integers(0, 100, 100) for i in range(4)]
+        r1 = run_on_machine(machine, data, algorithm="ams",
+                            config=AMSConfig(node_size=2))
+        r2 = run_on_machine(machine, data, algorithm="ams",
+                            config=AMSConfig(node_size=2))
+        assert r1.total_time == pytest.approx(r2.total_time)
+
+    def test_wrong_arity(self):
+        machine = SimulatedMachine(4, spec=laptop_like())
+        with pytest.raises(ValueError):
+            run_on_machine(machine, [np.arange(3)], algorithm="ams")
+
+    def test_kwargs_forwarded_to_baseline(self):
+        machine = SimulatedMachine(4, spec=laptop_like())
+        data = [np.random.default_rng(i).integers(0, 100, 50) for i in range(4)]
+        result = run_on_machine(machine, data, algorithm="samplesort", oversampling=4)
+        assert result.algorithm == "samplesort"
+
+    def test_validation_catches_imbalance_bound(self):
+        machine = SimulatedMachine(4, spec=laptop_like())
+        data = [np.random.default_rng(i).integers(0, 100, 200) for i in range(4)]
+        # an absurd bound of 0 imbalance must fail for AMS (it is only (1+eps)-balanced)
+        with pytest.raises(AssertionError):
+            run_on_machine(machine, data, algorithm="ams",
+                           config=AMSConfig(node_size=2), max_imbalance=0.0)
+
+
+class TestSortResult:
+    def _result(self):
+        data = np.random.default_rng(3).integers(0, 1000, 2000)
+        return sort_array(data, p=8, algorithm="ams",
+                          config=AMSConfig(levels=2, node_size=2), spec=laptop_like())
+
+    def test_phase_times_present(self):
+        result = self._result()
+        for phase in PAPER_PHASES:
+            assert phase in result.phase_times
+
+    def test_phase_fraction_sums_below_one_plus_eps(self):
+        result = self._result()
+        total_fraction = sum(result.phase_fraction(ph) for ph in result.phase_times)
+        assert 0.9 < total_fraction < 1.5  # phases overlap only via rounding
+
+    def test_summary_row_fields(self):
+        row = self._result().summary_row()
+        assert row["algorithm"] == "ams"
+        assert row["p"] == 8
+        assert "time_s" in row and "imbalance" in row
+
+    def test_elements_per_pe(self):
+        result = self._result()
+        assert result.elements_per_pe == pytest.approx(250.0)

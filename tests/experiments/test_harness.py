@@ -1,0 +1,86 @@
+"""Tests for :mod:`repro.experiments.harness`."""
+
+import pytest
+
+from repro.experiments.harness import (
+    PAPER_TABLE2_SECONDS,
+    ExperimentRunner,
+    RunConfig,
+    SCALE_PROFILES,
+    scale_profile,
+)
+from repro.machine.spec import laptop_like
+
+
+class TestScaleProfiles:
+    def test_known_profiles(self):
+        for name in ("quick", "medium", "large"):
+            profile = scale_profile(name)
+            assert len(profile["p_values"]) >= 2
+            assert len(profile["n_per_pe_values"]) >= 2
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            scale_profile("gigantic")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_profile() == dict(SCALE_PROFILES["quick"])
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert scale_profile() == dict(SCALE_PROFILES["medium"])
+
+    def test_paper_reference_numbers_present(self):
+        assert PAPER_TABLE2_SECONDS[10**5][512] == pytest.approx(0.0228)
+        assert PAPER_TABLE2_SECONDS[10**7][32768] == pytest.approx(6.0932)
+
+
+class TestRunConfig:
+    def test_label(self):
+        cfg = RunConfig(algorithm="ams", p=8, n_per_pe=100, levels=2)
+        assert "ams" in cfg.label() and "p8" in cfg.label()
+
+
+class TestExperimentRunner:
+    @pytest.fixture
+    def runner(self):
+        return ExperimentRunner(spec=laptop_like())
+
+    def test_run_once(self, runner):
+        cfg = RunConfig(algorithm="ams", p=8, n_per_pe=100, levels=2, node_size=2,
+                        repetitions=1)
+        result = runner.run_once(cfg)
+        assert result.p == 8
+        assert result.total_time > 0
+
+    def test_run_aggregates(self, runner):
+        cfg = RunConfig(algorithm="rlm", p=4, n_per_pe=80, levels=1, node_size=2,
+                        repetitions=2)
+        row = runner.run(cfg)
+        assert row["algorithm"] == "rlm"
+        assert row["time_min_s"] <= row["time_median_s"] <= row["time_max_s"]
+        assert "phase_local_sort" in row
+
+    def test_run_with_sampling_overrides(self, runner):
+        cfg = RunConfig(algorithm="ams", p=4, n_per_pe=200, levels=1, node_size=2,
+                        repetitions=1, overpartitioning=4, oversampling=2.0)
+        row = runner.run(cfg)
+        assert row["imbalance"] >= 0
+
+    def test_best_level_time(self, runner):
+        cfg = RunConfig(algorithm="ams", p=8, n_per_pe=100, node_size=2, repetitions=1)
+        best = runner.best_level_time(cfg, [1, 2])
+        assert best["levels"] in (1, 2)
+
+    def test_baseline_algorithms_supported(self, runner):
+        for algo in ("samplesort", "mergesort", "quicksort"):
+            cfg = RunConfig(algorithm=algo, p=4, n_per_pe=50, repetitions=1, node_size=2)
+            row = runner.run(cfg)
+            assert row["time_median_s"] > 0
+
+    def test_run_grid(self, runner):
+        configs = [
+            RunConfig(algorithm="ams", p=4, n_per_pe=50, levels=1, node_size=2, repetitions=1),
+            RunConfig(algorithm="ams", p=4, n_per_pe=50, levels=2, node_size=2, repetitions=1),
+        ]
+        rows = runner.run_grid(configs)
+        assert len(rows) == 2

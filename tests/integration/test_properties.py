@@ -1,0 +1,107 @@
+"""Cross-cutting property-based tests (hypothesis) on the full algorithms.
+
+Each property is checked against randomly generated machine sizes, local
+data distributions (including empty PEs and heavy duplicates) and algorithm
+configurations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ams_sort import ams_sort
+from repro.core.baselines import single_level_mergesort, single_level_sample_sort
+from repro.core.config import AMSConfig, RLMConfig
+from repro.core.rlm_sort import rlm_sort
+from repro.core.validation import check_globally_sorted, check_permutation
+from repro.machine.spec import laptop_like
+from repro.sim.machine import SimulatedMachine
+
+
+local_data_strategy = st.lists(
+    st.lists(st.integers(-50, 50), min_size=0, max_size=40),
+    min_size=1,
+    max_size=9,
+)
+
+
+def to_arrays(per_pe):
+    return [np.asarray(x, dtype=np.int64) for x in per_pe]
+
+
+class TestDistributedSortingProperties:
+    @given(local_data_strategy, st.integers(1, 3), st.integers(0, 10_000),
+           st.sampled_from(["naive", "randomized", "deterministic", "advanced"]))
+    @settings(max_examples=25, deadline=None)
+    def test_ams_sorted_permutation_any_delivery(self, per_pe, levels, seed, delivery):
+        data = to_arrays(per_pe)
+        machine = SimulatedMachine(len(data), spec=laptop_like(), seed=seed)
+        output = ams_sort(machine.world(), data,
+                          config=AMSConfig(levels=levels, node_size=2, delivery=delivery))
+        assert check_globally_sorted(output)
+        assert check_permutation(data, output)
+
+    @given(local_data_strategy, st.integers(1, 3), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_rlm_sorted_permutation(self, per_pe, levels, seed):
+        data = to_arrays(per_pe)
+        machine = SimulatedMachine(len(data), spec=laptop_like(), seed=seed)
+        output = rlm_sort(machine.world(), data,
+                          config=RLMConfig(levels=levels, node_size=2))
+        assert check_globally_sorted(output)
+        assert check_permutation(data, output)
+
+    @given(local_data_strategy, st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_rlm_output_balance(self, per_pe, seed):
+        """RLM-sort output sizes are within rounding of perfect balance."""
+        data = to_arrays(per_pe)
+        p = len(data)
+        machine = SimulatedMachine(p, spec=laptop_like(), seed=seed)
+        output = rlm_sort(machine.world(), data, config=RLMConfig(levels=2, node_size=2))
+        sizes = np.array([o.size for o in output])
+        assert sizes.sum() == sum(d.size for d in data)
+        if sizes.sum() >= p:
+            assert sizes.max() - sizes.min() <= 8
+
+    @given(local_data_strategy, st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_baselines_sorted_permutation(self, per_pe, seed):
+        data = to_arrays(per_pe)
+        machine1 = SimulatedMachine(len(data), spec=laptop_like(), seed=seed)
+        machine2 = SimulatedMachine(len(data), spec=laptop_like(), seed=seed)
+        out_ss = single_level_sample_sort(machine1.world(), data)
+        out_ms = single_level_mergesort(machine2.world(), data)
+        for output in (out_ss, out_ms):
+            assert check_globally_sorted(output)
+            assert check_permutation(data, output)
+
+    @given(local_data_strategy, st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_modelled_time_nonnegative_and_monotone_in_phases(self, per_pe, seed):
+        """The modelled clock is non-negative and the sum of phase maxima is at
+        least the makespan (phases are disjoint parts of the critical path)."""
+        data = to_arrays(per_pe)
+        machine = SimulatedMachine(len(data), spec=laptop_like(), seed=seed)
+        ams_sort(machine.world(), data, config=AMSConfig(levels=2, node_size=2))
+        total = machine.elapsed()
+        assert total >= 0
+        phase_sum = sum(machine.breakdown.max_time(ph) for ph in machine.breakdown.phases())
+        assert phase_sum >= total * 0.999
+
+    @given(st.integers(2, 8), st.integers(0, 30), st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_determinism(self, p, n_per_pe, seed):
+        """Identical seeds produce identical outputs and identical modelled time."""
+        def one_run():
+            machine = SimulatedMachine(p, spec=laptop_like(), seed=seed)
+            rng = np.random.default_rng(seed)
+            data = [rng.integers(0, 100, n_per_pe) for _ in range(p)]
+            out = ams_sort(machine.world(), data, config=AMSConfig(levels=2, node_size=2))
+            return machine.elapsed(), out
+
+        t1, out1 = one_run()
+        t2, out2 = one_run()
+        assert t1 == pytest.approx(t2)
+        for a, b in zip(out1, out2):
+            assert np.array_equal(a, b)

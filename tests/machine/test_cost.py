@@ -1,0 +1,130 @@
+"""Tests for :mod:`repro.machine.cost`."""
+
+import math
+
+import pytest
+
+from repro.machine.cost import CostModel, LocalWorkModel
+from repro.machine.spec import MachineSpec, supermuc_like
+from repro.machine.topology import HierarchicalTopology, FlatTopology
+
+
+@pytest.fixture
+def model():
+    spec = supermuc_like()
+    topo = HierarchicalTopology(64, cores_per_node=4, nodes_per_island=4)
+    return CostModel(spec, topo)
+
+
+class TestMessageAndCollectives:
+    def test_message_time_formula(self, model):
+        t = model.message_time(1000, level=0)
+        assert t == pytest.approx(model.spec.alpha + 1000 * model.spec.beta)
+
+    def test_message_negative_size(self, model):
+        with pytest.raises(ValueError):
+            model.message_time(-1)
+
+    def test_collective_single_pe_free(self, model):
+        assert model.collective_time(1, words=100) == 0.0
+
+    def test_collective_log_growth(self, model):
+        t2 = model.collective_time(2, words=1)
+        t1024 = model.collective_time(1024, words=1)
+        assert t1024 == pytest.approx(t2 * 10, rel=0.05)
+
+    def test_collective_word_term(self, model):
+        small = model.collective_time(16, words=1)
+        big = model.collective_time(16, words=10000)
+        assert big > small
+
+    def test_collective_rounds_factor(self, model):
+        gather = model.collective_time(16, words=10, rounds_factor=16)
+        bcast = model.collective_time(16, words=10, rounds_factor=1)
+        assert gather > bcast
+
+    def test_collective_record(self, model):
+        rec = model.collective(8, words=4, level=1)
+        assert rec.participants == 8
+        assert rec.time == pytest.approx(model.collective_time(8, 4, 1))
+
+    def test_collective_invalid_participants(self, model):
+        with pytest.raises(ValueError):
+            model.collective_time(0)
+
+
+class TestExchange:
+    def test_exchange_lower_bound_formula(self, model):
+        t = model.exchange_time(64, h_words=10000, r_messages=16, level=0)
+        expected = 10000 * model.spec.beta + 16 * model.spec.alpha
+        assert t == pytest.approx(expected)
+
+    def test_exchange_cross_island_more_expensive(self, model):
+        t_local = model.exchange_time(4, 10**6, 4, level=0)
+        t_island = model.exchange_time(4, 10**6, 4, level=2)
+        assert t_island > t_local
+
+    def test_exchange_record_fields(self, model):
+        rec = model.exchange(16, 100, 3, level=1)
+        assert rec.h_words == 100
+        assert rec.r_messages == 3
+        assert rec.level == 1
+
+    def test_exchange_negative_raises(self, model):
+        with pytest.raises(ValueError):
+            model.exchange_time(4, -1, 0)
+
+    def test_exchange_level_from_members(self, model):
+        assert model.exchange_level(range(4)) == 0
+        assert model.exchange_level(range(64)) == 2
+
+
+class TestLocalWork:
+    def test_local_sort_matches_spec(self, model):
+        assert model.local_sort(5000) == pytest.approx(model.spec.local_sort_time(5000))
+
+    def test_local_search_zero_for_tiny(self, model):
+        assert model.local_search(1) == 0.0
+        assert model.local_search(100, iterations=0) == 0.0
+
+    def test_local_search_grows_with_iterations(self, model):
+        assert model.local_search(1000, 10) == pytest.approx(10 * model.local_search(1000, 1))
+
+    def test_local_work_model_facade(self):
+        lw = LocalWorkModel(MachineSpec())
+        assert lw.sort(1000) > 0
+        assert lw.merge(1000, 4) > 0
+        assert lw.partition(1000, 4) > 0
+        assert lw.move(1000) > 0
+
+    def test_local_work_model_default_spec(self):
+        lw = LocalWorkModel()
+        assert lw.sort(10) >= 0
+
+
+class TestStartupVsBandwidthRegimes:
+    """Sanity checks that the calibration puts startups and bandwidth in a
+    realistic relation — these relations are what make the multi-level
+    algorithms pay off in the benchmarks."""
+
+    def test_small_message_dominated_by_alpha(self):
+        spec = supermuc_like()
+        model = CostModel(spec, FlatTopology(2))
+        t = model.message_time(10)
+        assert spec.alpha / t > 0.9
+
+    def test_large_message_dominated_by_beta(self):
+        spec = supermuc_like()
+        model = CostModel(spec, FlatTopology(2))
+        t = model.message_time(10**7)
+        assert (10**7 * spec.beta) / t > 0.9
+
+    def test_p_startups_worse_than_sqrt_p_twice(self):
+        # One exchange with p startups vs two exchanges with sqrt(p) startups
+        # each: for small per-PE volume the multi-level variant must win.
+        spec = supermuc_like()
+        model = CostModel(spec, FlatTopology(4096))
+        h = 1000  # words per PE
+        single = model.exchange_time(4096, h, 4095)
+        multi = 2 * model.exchange_time(4096, h, 64)
+        assert multi < single

@@ -1,0 +1,149 @@
+"""Tests for :mod:`repro.machine.counters`."""
+
+import numpy as np
+import pytest
+
+from repro.machine.counters import (
+    PAPER_PHASES,
+    PHASE_DATA_DELIVERY,
+    PHASE_LOCAL_SORT,
+    PHASE_OTHER,
+    PhaseBreakdown,
+    PhaseTimer,
+    TrafficCounters,
+)
+
+
+class TestTrafficCounters:
+    def test_record_message(self):
+        c = TrafficCounters(4)
+        c.record_message(0, 3, 100)
+        assert c.messages_sent[0] == 1
+        assert c.messages_received[3] == 1
+        assert c.words_sent[0] == 100
+        assert c.words_received[3] == 100
+
+    def test_negative_words_rejected(self):
+        c = TrafficCounters(2)
+        with pytest.raises(ValueError):
+            c.record_message(0, 1, -1)
+
+    def test_max_startups(self):
+        c = TrafficCounters(3)
+        c.record_message(0, 1, 10)
+        c.record_message(0, 2, 10)
+        c.record_message(1, 2, 10)
+        assert c.max_startups() == 2  # PE 0 sent 2, PE 2 received 2
+
+    def test_max_and_total_volume(self):
+        c = TrafficCounters(3)
+        c.record_message(0, 1, 10)
+        c.record_message(2, 1, 30)
+        assert c.max_volume() == 40
+        assert c.total_volume() == 40
+        assert c.total_messages() == 2
+
+    def test_collective_and_exchange_ops(self):
+        c = TrafficCounters(4)
+        c.record_collective([0, 1, 2, 3])
+        c.record_exchange([0, 1])
+        assert c.collective_ops[0] == 1
+        assert c.exchange_ops[0] == 1
+        assert c.exchange_ops[3] == 0
+
+    def test_summary_keys(self):
+        c = TrafficCounters(2)
+        summary = c.summary()
+        assert set(summary) >= {
+            "total_messages",
+            "total_words",
+            "max_startups_per_pe",
+            "max_words_per_pe",
+        }
+
+    def test_reset(self):
+        c = TrafficCounters(2)
+        c.record_message(0, 1, 5)
+        c.reset()
+        assert c.total_messages() == 0
+        assert c.total_volume() == 0
+
+    def test_invalid_pe_count(self):
+        with pytest.raises(ValueError):
+            TrafficCounters(0)
+
+
+class TestPhaseBreakdown:
+    def test_add_and_max(self):
+        b = PhaseBreakdown(4)
+        b.add(PHASE_LOCAL_SORT, 0, 1.0)
+        b.add(PHASE_LOCAL_SORT, 1, 3.0)
+        assert b.max_time(PHASE_LOCAL_SORT) == 3.0
+        assert b.mean_time(PHASE_LOCAL_SORT) == 1.0
+
+    def test_negative_time_rejected(self):
+        b = PhaseBreakdown(2)
+        with pytest.raises(ValueError):
+            b.add(PHASE_LOCAL_SORT, 0, -0.1)
+
+    def test_add_many(self):
+        b = PhaseBreakdown(3)
+        b.add_many(PHASE_DATA_DELIVERY, np.array([1.0, 2.0, 3.0]))
+        assert b.max_time(PHASE_DATA_DELIVERY) == 3.0
+
+    def test_add_many_wrong_shape(self):
+        b = PhaseBreakdown(3)
+        with pytest.raises(ValueError):
+            b.add_many(PHASE_DATA_DELIVERY, np.array([1.0, 2.0]))
+
+    def test_total_max_sums_phases(self):
+        b = PhaseBreakdown(2)
+        b.add(PHASE_LOCAL_SORT, 0, 1.0)
+        b.add(PHASE_DATA_DELIVERY, 1, 2.0)
+        assert b.total_max() == pytest.approx(3.0)
+
+    def test_unknown_phase_zero(self):
+        b = PhaseBreakdown(2)
+        assert b.max_time("nonexistent") == 0.0
+        assert b.per_pe("nonexistent").tolist() == [0.0, 0.0]
+
+    def test_as_dict_with_explicit_phases(self):
+        b = PhaseBreakdown(2)
+        b.add(PHASE_LOCAL_SORT, 0, 1.0)
+        d = b.as_dict(PAPER_PHASES)
+        assert set(d) == set(PAPER_PHASES)
+
+    def test_merge(self):
+        b1 = PhaseBreakdown(2)
+        b2 = PhaseBreakdown(2)
+        b1.add(PHASE_LOCAL_SORT, 0, 1.0)
+        b2.add(PHASE_LOCAL_SORT, 0, 2.0)
+        b1.merge(b2)
+        assert b1.max_time(PHASE_LOCAL_SORT) == 3.0
+
+    def test_merge_size_mismatch(self):
+        with pytest.raises(ValueError):
+            PhaseBreakdown(2).merge(PhaseBreakdown(3))
+
+    def test_reset(self):
+        b = PhaseBreakdown(2)
+        b.add(PHASE_LOCAL_SORT, 0, 1.0)
+        b.reset()
+        assert b.phases() == []
+
+
+class TestPhaseTimer:
+    def test_nesting_restores_previous(self):
+        class Dummy:
+            current_phase = PHASE_OTHER
+
+        machine = Dummy()
+        with PhaseTimer(machine, PHASE_LOCAL_SORT):
+            assert machine.current_phase == PHASE_LOCAL_SORT
+            with PhaseTimer(machine, PHASE_DATA_DELIVERY):
+                assert machine.current_phase == PHASE_DATA_DELIVERY
+            assert machine.current_phase == PHASE_LOCAL_SORT
+        assert machine.current_phase == PHASE_OTHER
+
+    def test_paper_phases_complete(self):
+        assert len(PAPER_PHASES) == 4

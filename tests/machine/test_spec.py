@@ -1,0 +1,115 @@
+"""Tests for :mod:`repro.machine.spec`."""
+
+import math
+
+import pytest
+
+from repro.machine.spec import (
+    MachineSpec,
+    PRESETS,
+    cray_xe6_like,
+    cray_xt4_like,
+    generic_cluster,
+    laptop_like,
+    spec_by_name,
+    supermuc_like,
+)
+
+
+class TestMachineSpecBasics:
+    def test_default_construction(self):
+        spec = MachineSpec()
+        assert spec.alpha > 0
+        assert spec.beta > 0
+        assert spec.cores_per_node > 0
+
+    def test_cores_per_island(self):
+        spec = MachineSpec(cores_per_node=16, nodes_per_island=512)
+        assert spec.cores_per_island == 16 * 512
+
+    def test_beta_levels_monotone(self):
+        spec = supermuc_like()
+        assert spec.beta_for_level(0) <= spec.beta_for_level(1) <= spec.beta_for_level(2)
+
+    def test_island_penalty_is_four_to_one(self):
+        spec = supermuc_like()
+        assert spec.beta_for_level(2) == pytest.approx(4.0 * spec.beta_for_level(0))
+
+    def test_with_overrides(self):
+        spec = supermuc_like().with_overrides(alpha=1e-3)
+        assert spec.alpha == 1e-3
+        assert spec.beta == supermuc_like().beta
+
+    def test_describe_contains_fields(self):
+        text = supermuc_like().describe()
+        assert "alpha" in text and "beta" in text
+
+
+class TestLocalWorkCharges:
+    def test_sort_time_zero_for_trivial(self):
+        spec = MachineSpec()
+        assert spec.local_sort_time(0) == 0.0
+        assert spec.local_sort_time(1) == 0.0
+
+    def test_sort_time_superlinear(self):
+        spec = MachineSpec()
+        t1 = spec.local_sort_time(1000)
+        t2 = spec.local_sort_time(2000)
+        assert t2 > 2 * t1 * 0.99  # n log n growth
+
+    def test_merge_time_scales_with_ways(self):
+        spec = MachineSpec()
+        assert spec.local_merge_time(1000, 16) > spec.local_merge_time(1000, 2)
+
+    def test_merge_time_single_run_is_copy(self):
+        spec = MachineSpec()
+        assert spec.local_merge_time(1000, 1) == pytest.approx(spec.local_move_time(1000))
+
+    def test_partition_time_zero_for_one_bucket(self):
+        spec = MachineSpec()
+        assert spec.local_partition_time(1000, 1) == 0.0
+
+    def test_partition_cheaper_than_merge(self):
+        spec = supermuc_like()
+        assert spec.local_partition_time(1000, 16) < spec.local_merge_time(1000, 16)
+
+    def test_move_time_linear(self):
+        spec = MachineSpec()
+        assert spec.local_move_time(2000) == pytest.approx(2 * spec.local_move_time(1000))
+
+    def test_negative_sizes_clamped(self):
+        spec = MachineSpec()
+        assert spec.local_move_time(-5) == 0.0
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_presets_constructible(self, name):
+        spec = spec_by_name(name)
+        assert isinstance(spec, MachineSpec)
+        assert spec.alpha > 0
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            spec_by_name("does-not-exist")
+
+    def test_supermuc_matches_paper_hierarchy(self):
+        spec = supermuc_like()
+        assert spec.cores_per_node == 16
+        assert spec.nodes_per_island == 512
+
+    def test_all_presets_distinct_names(self):
+        names = {spec_by_name(n).name for n in PRESETS}
+        assert len(names) == len(PRESETS)
+
+    def test_generic_cluster_parameters(self):
+        spec = generic_cluster(cores_per_node=8, nodes_per_island=4)
+        assert spec.cores_per_node == 8
+        assert spec.nodes_per_island == 4
+
+    def test_laptop_has_single_island(self):
+        assert laptop_like().island_beta_factor == 1.0
+
+    def test_cray_presets(self):
+        assert cray_xt4_like().cores_per_node == 4
+        assert cray_xe6_like().cores_per_node == 32

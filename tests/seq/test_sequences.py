@@ -1,0 +1,58 @@
+"""Tests for :mod:`repro.seq.sequences`."""
+
+import numpy as np
+import pytest
+
+from repro.seq.sequences import SortedRuns, check_runs_sorted, runs_total_size
+
+
+class TestSortedRuns:
+    def test_construction_and_iteration(self):
+        runs = SortedRuns([np.array([1, 2]), np.array([3])])
+        assert len(runs) == 2
+        assert [r.tolist() for r in runs] == [[1, 2], [3]]
+        assert runs[1].tolist() == [3]
+
+    def test_validate_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            SortedRuns([np.array([2, 1])], validate=True)
+
+    def test_validate_rejects_2d(self):
+        with pytest.raises(ValueError):
+            SortedRuns([np.zeros((2, 2))], validate=True)
+
+    def test_append_extend(self):
+        runs = SortedRuns()
+        runs.append(np.array([1]))
+        runs.extend([np.array([2]), np.array([3])])
+        assert runs.total_size() == 3
+
+    def test_merged(self):
+        runs = SortedRuns([np.array([1, 4]), np.array([2, 3])])
+        assert runs.merged().tolist() == [1, 2, 3, 4]
+
+    def test_concatenated_keeps_run_order(self):
+        runs = SortedRuns([np.array([4, 5]), np.array([1])])
+        assert runs.concatenated().tolist() == [4, 5, 1]
+
+    def test_concatenated_empty(self):
+        assert SortedRuns([np.empty(0)]).concatenated().size == 0
+        assert SortedRuns([]).concatenated().size == 0
+
+    def test_non_empty_filter(self):
+        runs = SortedRuns([np.empty(0), np.array([1])])
+        assert len(runs.non_empty()) == 1
+
+    def test_dtype(self):
+        runs = SortedRuns([np.empty(0, dtype=np.int32), np.array([1, 2], dtype=np.int64)])
+        assert runs.dtype() == np.int64
+
+
+class TestHelpers:
+    def test_runs_total_size(self):
+        assert runs_total_size([np.arange(3), np.arange(2)]) == 5
+        assert runs_total_size([]) == 0
+
+    def test_check_runs_sorted(self):
+        assert check_runs_sorted([np.array([1, 2]), np.empty(0)])
+        assert not check_runs_sorted([np.array([1, 2]), np.array([3, 1])])

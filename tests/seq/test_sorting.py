@@ -1,0 +1,70 @@
+"""Tests for :mod:`repro.seq.sorting`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.seq.sorting import (
+    counting_sort_small_range,
+    insertion_sort,
+    is_sorted,
+    local_sort,
+    sortedness_violations,
+)
+
+
+class TestLocalSort:
+    def test_sorts(self):
+        out = local_sort(np.array([3, 1, 2]))
+        assert out.tolist() == [1, 2, 3]
+
+    def test_input_untouched(self):
+        a = np.array([3, 1, 2])
+        local_sort(a)
+        assert a.tolist() == [3, 1, 2]
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            local_sort(np.zeros((2, 2)))
+
+
+class TestInsertionSort:
+    @given(st.lists(st.integers(-100, 100), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_builtin(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        assert insertion_sort(arr).tolist() == sorted(values)
+
+    def test_empty(self):
+        assert insertion_sort(np.empty(0, dtype=np.int64)).size == 0
+
+
+class TestSortednessChecks:
+    def test_is_sorted(self):
+        assert is_sorted(np.array([1, 2, 2, 3]))
+        assert not is_sorted(np.array([2, 1]))
+        assert is_sorted(np.empty(0))
+        assert is_sorted(np.array([7]))
+
+    def test_violations_count(self):
+        assert sortedness_violations(np.array([1, 2, 3])) == 0
+        assert sortedness_violations(np.array([3, 2, 1])) == 2
+        assert sortedness_violations(np.array([1, 3, 2, 4, 0])) == 2
+
+
+class TestCountingSort:
+    def test_matches_sort(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 16, 100)
+        assert counting_sort_small_range(values).tolist() == sorted(values.tolist())
+
+    def test_requires_integers(self):
+        with pytest.raises(TypeError):
+            counting_sort_small_range(np.array([1.5, 2.5]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            counting_sort_small_range(np.array([-1, 2]))
+
+    def test_empty(self):
+        assert counting_sort_small_range(np.empty(0, dtype=np.int64)).size == 0

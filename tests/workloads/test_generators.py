@@ -1,0 +1,90 @@
+"""Tests for :mod:`repro.workloads.generators`."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generators import (
+    WORKLOADS,
+    generate_workload,
+    per_pe_workload,
+    tiny_pieces_worst_case,
+)
+
+
+class TestGenerateWorkload:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_all_workloads_produce_requested_size(self, name):
+        keys = generate_workload(name, 500, rng=0)
+        assert keys.size == 500
+        assert keys.dtype == np.int64
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_zero_size(self, name):
+        assert generate_workload(name, 0, rng=0).size == 0
+
+    def test_deterministic_for_seed(self):
+        a = generate_workload("uniform", 100, rng=7)
+        b = generate_workload("uniform", 100, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_generator_object_accepted(self):
+        rng = np.random.default_rng(3)
+        keys = generate_workload("gaussian", 50, rng=rng)
+        assert keys.size == 50
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            generate_workload("fractal", 10)
+
+    def test_all_equal(self):
+        keys = generate_workload("all_equal", 20, rng=0)
+        assert np.unique(keys).size == 1
+
+    def test_duplicates_have_small_universe(self):
+        keys = generate_workload("duplicates", 1000, rng=0, distinct=8)
+        assert np.unique(keys).size <= 8
+
+    def test_reverse_is_decreasing(self):
+        keys = generate_workload("reverse", 100, rng=0)
+        assert np.all(np.diff(keys) < 0)
+
+    def test_nearly_sorted_mostly_sorted(self):
+        keys = generate_workload("nearly_sorted", 1000, rng=0)
+        inversions = np.count_nonzero(keys[1:] < keys[:-1])
+        assert inversions < 100
+
+    def test_zipf_is_skewed(self):
+        keys = generate_workload("zipf", 2000, rng=0)
+        values, counts = np.unique(keys, return_counts=True)
+        assert counts.max() > 2000 * 0.2  # the most frequent value dominates
+
+    def test_staggered_is_permutation_like(self):
+        keys = generate_workload("staggered", 64, rng=0, buckets=4)
+        assert keys.size == 64
+
+
+class TestPerPEWorkload:
+    def test_shapes(self):
+        data = per_pe_workload("uniform", 5, 100, seed=1)
+        assert len(data) == 5
+        assert all(d.size == 100 for d in data)
+
+    def test_pes_independent(self):
+        data = per_pe_workload("uniform", 3, 100, seed=1)
+        assert not np.array_equal(data[0], data[1])
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            per_pe_workload("uniform", 0, 10)
+
+
+class TestTinyPiecesWorstCase:
+    def test_heavy_and_tiny_pes_exist(self):
+        data = tiny_pieces_worst_case(p=16, r=4, n_per_pe=1000, seed=0)
+        sizes = np.array([d.size for d in data])
+        assert sizes.max() == 1000
+        assert sizes.min() < 100
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            tiny_pieces_worst_case(0, 2, 10)

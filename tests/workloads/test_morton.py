@@ -1,0 +1,99 @@
+"""Tests for :mod:`repro.workloads.morton`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.morton import (
+    interleave_bits,
+    morton_decode_2d,
+    morton_encode_2d,
+    morton_encode_3d,
+    particle_morton_keys,
+)
+
+
+class TestInterleave:
+    def test_spacing_two(self):
+        out = interleave_bits(np.array([0b111]), 2, 3)
+        assert out[0] == 0b010101
+
+    def test_spacing_three(self):
+        out = interleave_bits(np.array([0b11]), 3, 2)
+        assert out[0] == 0b001001
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            interleave_bits(np.array([1]), 0, 4)
+
+    def test_too_many_bits(self):
+        with pytest.raises(ValueError):
+            interleave_bits(np.array([1]), 3, 22)
+
+
+class TestMorton2D:
+    def test_known_values(self):
+        codes = morton_encode_2d(np.array([1, 0, 1]), np.array([0, 1, 1]), bits=4)
+        assert codes.tolist() == [1, 2, 3]
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2**10, 100)
+        y = rng.integers(0, 2**10, 100)
+        codes = morton_encode_2d(x, y, bits=10)
+        rx, ry = morton_decode_2d(codes, bits=10)
+        assert np.array_equal(rx, x)
+        assert np.array_equal(ry, y)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            morton_encode_2d(np.array([2**21]), np.array([0]))
+
+    @given(st.integers(0, 2**15 - 1), st.integers(0, 2**15 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_property_locality_monotone_in_upper_bits(self, x, y):
+        """Doubling both coordinates shifts the Morton code by two bits."""
+        code = morton_encode_2d(np.array([x]), np.array([y]), bits=16)[0]
+        code2 = morton_encode_2d(np.array([2 * x]), np.array([2 * y]), bits=17)[0]
+        assert code2 == code << np.uint64(2)
+
+
+class TestMorton3D:
+    def test_known_origin_neighbours(self):
+        codes = morton_encode_3d(np.array([1, 0, 0]), np.array([0, 1, 0]),
+                                 np.array([0, 0, 1]), bits=4)
+        assert codes.tolist() == [1, 2, 4]
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            morton_encode_3d(np.array([0]), np.array([2**21]), np.array([0]))
+
+
+class TestParticleKeys:
+    def test_shape_and_dtype(self):
+        rng = np.random.default_rng(1)
+        pos = rng.random((200, 3))
+        keys = particle_morton_keys(pos, bits=10)
+        assert keys.shape == (200,)
+        assert keys.dtype == np.int64
+        assert keys.min() >= 0
+
+    def test_2d_supported(self):
+        pos = np.random.default_rng(2).random((50, 2))
+        assert particle_morton_keys(pos, bits=8).shape == (50,)
+
+    def test_spatial_locality(self):
+        """Particles in the same octant share high Morton bits more often than
+        particles in different octants."""
+        lo = np.random.default_rng(3).random((100, 3)) * 0.25
+        hi = 0.75 + np.random.default_rng(4).random((100, 3)) * 0.25
+        pos = np.vstack([lo, hi])
+        keys = particle_morton_keys(pos, bits=10, bounds=(0.0, 1.0))
+        assert keys[:100].max() < keys[100:].min()
+
+    def test_empty(self):
+        assert particle_morton_keys(np.empty((0, 3))).size == 0
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            particle_morton_keys(np.zeros((5, 4)))

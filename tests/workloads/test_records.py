@@ -1,0 +1,76 @@
+"""Tests for :mod:`repro.workloads.records`."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.records import (
+    RECORD_DTYPE,
+    generate_records,
+    pack_key_bytes,
+    record_keys,
+    split_records,
+    unpack_key_bytes,
+)
+
+
+class TestRecordGeneration:
+    def test_dtype_is_100_bytes(self):
+        assert RECORD_DTYPE.itemsize == 100
+
+    def test_generate_shape(self):
+        records = generate_records(50, rng=0)
+        assert records.shape == (50,)
+        assert records.dtype == RECORD_DTYPE
+
+    def test_zero_records(self):
+        assert generate_records(0).size == 0
+
+    def test_deterministic(self):
+        a = generate_records(10, rng=5)
+        b = generate_records(10, rng=5)
+        assert np.array_equal(a["key"], b["key"])
+
+
+class TestKeyPacking:
+    def test_pack_preserves_order_of_prefixes(self):
+        records = generate_records(200, rng=1)
+        keys = records["key"]
+        packed = pack_key_bytes(keys)
+        order_bytes = np.argsort(keys)
+        order_packed = np.argsort(packed, kind="stable")
+        # the orders agree on the 8-byte prefix level
+        prefix = np.array([k[:8] for k in keys])
+        assert np.array_equal(prefix[order_bytes], prefix[order_packed])
+
+    def test_pack_unpack_roundtrip(self):
+        records = generate_records(20, rng=2)
+        packed = pack_key_bytes(records["key"])
+        prefixes = unpack_key_bytes(packed)
+        expected = np.array([k[:8] for k in records["key"]])
+        assert np.array_equal(prefixes, expected)
+
+    def test_pack_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            pack_key_bytes(np.arange(5))
+
+    def test_record_keys_signed_and_sorted_consistently(self):
+        records = generate_records(500, rng=3)
+        keys = record_keys(records)
+        assert keys.dtype == np.int64
+        byte_sorted = np.sort(records["key"])
+        key_sorted = records[np.argsort(keys, kind="stable")]["key"]
+        # orders agree except possibly among 8-byte-prefix collisions (none expected here)
+        assert np.array_equal(
+            np.array([k[:8] for k in byte_sorted]),
+            np.array([k[:8] for k in key_sorted]),
+        )
+
+
+class TestSplitRecords:
+    def test_split_counts(self):
+        records = generate_records(103, rng=4)
+        chunks, keys = split_records(records, 4)
+        assert len(chunks) == 4 and len(keys) == 4
+        assert sum(c.size for c in chunks) == 103
+        for c, k in zip(chunks, keys):
+            assert c.size == k.size
