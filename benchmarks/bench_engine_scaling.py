@@ -1,0 +1,214 @@
+"""Benchmark: flat DistArray engine vs the seed per-PE path, p up to 4096.
+
+The flat engine (``repro.dist``) replaces the per-PE ``for i in range(p)``
+loops of the seed implementation with whole-machine vectorised numpy.  This
+benchmark demonstrates the resulting simulation-throughput gain on AMS-sort
+with the paper's default two-level plan and ``n/p = 1000``:
+
+* runs the flat engine at ``p`` in {64, 256, 1024, 4096},
+* runs the seed per-PE reference at ``p`` up to 1024 and verifies the two
+  engines produce **identical sorted output and modelled makespan**,
+* reports the wall-clock speedup (the acceptance bar is >= 5x at p=1024),
+* archives the measurements as JSON (``BENCH_engine.json``).
+
+Standalone usage (used by the CI perf smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_scaling.py \
+        --p-list 1024 --output BENCH_engine.json
+
+Under pytest the module runs a reduced-scale version through the
+pytest-benchmark harness like the other benchmarks in this directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.core.config import AMSConfig
+from repro.core.runner import distribute_array, run_on_machine
+from repro.sim.machine import SimulatedMachine
+
+DEFAULT_P_LIST = (64, 256, 1024, 4096)
+N_PER_PE = 1000
+LEVELS = 2  # the paper's default two-level plan
+
+
+def _run_once(p: int, n_per_pe: int, engine: str, seed: int = 0):
+    """One timed AMS-sort run; returns (wall_seconds, SortResult)."""
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 2 ** 62, size=p * n_per_pe, dtype=np.int64)
+    machine = SimulatedMachine(p, seed=seed)
+    local = distribute_array(data, p)
+    t0 = time.perf_counter()
+    result = run_on_machine(
+        machine, local, algorithm="ams", config=AMSConfig(levels=LEVELS),
+        validate=False, engine=engine,
+    )
+    return time.perf_counter() - t0, result
+
+
+def _best_of(p: int, n_per_pe: int, engine: str, repeats: int):
+    walls = []
+    result = None
+    for _ in range(max(1, repeats)):
+        wall, result = _run_once(p, n_per_pe, engine)
+        walls.append(wall)
+    return min(walls), result
+
+
+def run_comparison(
+    p_list=DEFAULT_P_LIST,
+    n_per_pe: int = N_PER_PE,
+    reference_max: int = 1024,
+    repeats: int = 3,
+):
+    """Run the flat/reference comparison; returns a list of row dicts."""
+    rows = []
+    for p in p_list:
+        compared = p <= reference_max
+        # Compared points use the same best-of-N on both engines; flat-only
+        # points at large p run once (the seed path is impractical there).
+        flat_repeats = repeats if (compared or p <= 1024) else 1
+        wall_flat, res_flat = _best_of(p, n_per_pe, "flat", flat_repeats)
+        row = {
+            "p": int(p),
+            "n_per_pe": int(n_per_pe),
+            "levels": LEVELS,
+            "wall_flat_s": wall_flat,
+            "modelled_time_s": res_flat.total_time,
+            "imbalance": res_flat.imbalance,
+            "max_startups": res_flat.traffic.get("max_startups_per_pe", 0),
+        }
+        if compared:
+            wall_ref, res_ref = _best_of(p, n_per_pe, "reference", repeats)
+            identical_output = all(
+                np.array_equal(a, b)
+                for a, b in zip(res_flat.output, res_ref.output)
+            )
+            identical_makespan = res_flat.total_time == res_ref.total_time
+            row.update({
+                "wall_reference_s": wall_ref,
+                "speedup": wall_ref / wall_flat,
+                "identical_output": identical_output,
+                "identical_makespan": identical_makespan,
+            })
+            if not (identical_output and identical_makespan):
+                raise AssertionError(
+                    f"flat and reference engines diverged at p={p}: "
+                    f"output identical={identical_output}, "
+                    f"makespan identical={identical_makespan}"
+                )
+        rows.append(row)
+        msg = (
+            f"p={p:5d}  n/p={n_per_pe}  flat={row['wall_flat_s']:.3f}s"
+        )
+        if "speedup" in row:
+            msg += (
+                f"  reference={row['wall_reference_s']:.3f}s"
+                f"  speedup={row['speedup']:.2f}x  identical=yes"
+            )
+        msg += f"  modelled={row['modelled_time_s']:.5f}s"
+        print(msg, flush=True)
+    return rows
+
+
+def write_json(rows, path: Path) -> None:
+    """Write the measurement rows as a JSON document."""
+    doc = {
+        "benchmark": "engine_scaling",
+        "algorithm": "ams",
+        "config": {"levels": LEVELS, "spec": "supermuc-like"},
+        "rows": rows,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {path}", flush=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--p-list", type=int, nargs="+", default=list(DEFAULT_P_LIST),
+                        help="simulated PE counts to run (default: 64 256 1024 4096)")
+    parser.add_argument("--n-per-pe", type=int, default=N_PER_PE)
+    parser.add_argument("--reference-max", type=int, default=1024,
+                        help="largest p for which the per-PE seed path also runs")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions (best-of); p=4096 always runs once")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).parent / "results" / "BENCH_engine.json")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        help="fail unless the speedup at the largest compared p "
+                             "reaches this factor (e.g. 5.0)")
+    args = parser.parse_args(argv)
+
+    rows = run_comparison(
+        p_list=args.p_list,
+        n_per_pe=args.n_per_pe,
+        reference_max=args.reference_max,
+        repeats=args.repeats,
+    )
+    write_json(rows, args.output)
+
+    if args.require_speedup is not None:
+        compared = [r for r in rows if "speedup" in r]
+        if not compared:
+            print("no engine comparison ran; cannot check speedup", file=sys.stderr)
+            return 2
+        top = max(compared, key=lambda r: r["p"])
+        if top["speedup"] < args.require_speedup:
+            print(
+                f"FAIL: speedup {top['speedup']:.2f}x at p={top['p']} below "
+                f"required {args.require_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"speedup check passed: {top['speedup']:.2f}x at p={top['p']}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point (reduced scale, like the other benchmarks)
+# ----------------------------------------------------------------------
+def test_engine_scaling(benchmark, profile):
+    from conftest import publish
+
+    p_values = profile["p_values"]
+    rows = benchmark.pedantic(
+        run_comparison,
+        kwargs={
+            "p_list": p_values,
+            "n_per_pe": min(1000, max(profile["n_per_pe_values"])),
+            # The per-PE seed path is impractical past ~1024 PEs; larger
+            # profile points run the flat engine only.
+            "reference_max": min(1024, max(p_values)),
+            "repeats": 1,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["Flat DistArray engine vs seed per-PE path (AMS-sort, 2 levels)"]
+    for row in rows:
+        lines.append(
+            f"  p={row['p']:5d}  flat={row['wall_flat_s']:.3f}s  "
+            f"reference={row.get('wall_reference_s', float('nan')):.3f}s  "
+            f"speedup={row.get('speedup', float('nan')):.2f}x  "
+            f"modelled={row['modelled_time_s']:.5f}s"
+        )
+    publish("engine_scaling", "\n".join(lines))
+
+    # Identity is enforced inside run_comparison; at benchmark scale the
+    # speedup must at least not regress below parity.
+    assert all(row.get("identical_output", True) for row in rows)
+    assert max(row.get("speedup", 1.0) for row in rows) >= 1.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,7 @@ Quickstart::
 Subpackages
 -----------
 ``repro.machine``   hardware model (spec, topology, cost, counters)
+``repro.dist``      flat DistArray execution engine (CSR layout + kernels)
 ``repro.sim``       bulk-synchronous simulator (machine, communicators, exchange)
 ``repro.seq``       sequential toolbox (merging, partitioning, selection)
 ``repro.blocks``    distributed building blocks (multiselect, fast sort,
@@ -48,6 +49,7 @@ from repro.machine.spec import (
 )
 from repro.sim.machine import SimulatedMachine
 from repro.sim.comm import Comm
+from repro.dist.array import DistArray
 
 __version__ = "1.0.0"
 
@@ -72,5 +74,6 @@ __all__ = [
     "laptop_like",
     "SimulatedMachine",
     "Comm",
+    "DistArray",
     "__version__",
 ]

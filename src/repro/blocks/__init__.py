@@ -23,16 +23,32 @@ from repro.blocks.feistel import FeistelPermutation, pseudorandom_permutation
 from repro.blocks.sampling import (
     SamplingParams,
     draw_local_sample,
+    draw_samples_flat,
     default_oversampling,
 )
-from repro.blocks.multiselect import multisequence_select, MultiselectResult
-from repro.blocks.fast_sort import fast_work_inefficient_sort, select_splitters_by_rank
+from repro.blocks.multiselect import (
+    multisequence_select,
+    multisequence_select_flat,
+    MultiselectResult,
+)
+from repro.blocks.fast_sort import (
+    fast_work_inefficient_sort,
+    fast_work_inefficient_sort_flat,
+    select_splitters_by_rank,
+    select_splitters_by_rank_flat,
+)
 from repro.blocks.grouping import (
     scan_buckets_with_bound,
     optimal_bucket_grouping,
     group_sizes_from_boundaries,
+    bucket_to_group,
 )
-from repro.blocks.delivery import deliver_to_groups, DeliveryResult
+from repro.blocks.delivery import (
+    deliver_to_groups,
+    deliver_to_groups_flat,
+    DeliveryResult,
+    FlatDeliveryResult,
+)
 from repro.blocks.tiebreak import (
     make_unique_keys,
     strip_tiebreak,
@@ -44,16 +60,23 @@ __all__ = [
     "pseudorandom_permutation",
     "SamplingParams",
     "draw_local_sample",
+    "draw_samples_flat",
     "default_oversampling",
     "multisequence_select",
+    "multisequence_select_flat",
     "MultiselectResult",
     "fast_work_inefficient_sort",
+    "fast_work_inefficient_sort_flat",
     "select_splitters_by_rank",
+    "select_splitters_by_rank_flat",
     "scan_buckets_with_bound",
     "optimal_bucket_grouping",
     "group_sizes_from_boundaries",
+    "bucket_to_group",
     "deliver_to_groups",
+    "deliver_to_groups_flat",
     "DeliveryResult",
+    "FlatDeliveryResult",
     "make_unique_keys",
     "strip_tiebreak",
     "can_encode_inline",

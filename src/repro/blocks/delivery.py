@@ -46,8 +46,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.blocks.feistel import FeistelPermutation
+from repro.dist.array import DistArray
+from repro.dist.flatops import concat_ranges, split_intervals, stable_two_key_argsort
 from repro.machine.counters import PHASE_DATA_DELIVERY
-from repro.sim.exchange import ExchangeResult
+from repro.sim.exchange import ExchangeResult, FlatExchangeResult, FlatMessages
 
 
 DELIVERY_METHODS = ("naive", "randomized", "deterministic", "advanced")
@@ -443,3 +445,401 @@ def deliver_to_groups(
         exchange=exchange,
         method=method,
     )
+
+
+# ======================================================================
+# Flat (DistArray) delivery engine
+# ======================================================================
+#
+# The functions below are vectorised ports of the per-PE assignment
+# algorithms above.  Pieces are given as one flat value buffer in
+# ``(PE, group)`` order plus a ``(p, r)`` size matrix; messages are built as
+# flat index arrays with :func:`repro.dist.flatops.split_intervals` instead
+# of per-piece Python loops.  Every port emits *exactly* the message stream
+# of its per-PE counterpart (same sources, destinations, payload slices and
+# per-sender ordering), which keeps costs and data byte-identical.
+
+
+@dataclass
+class FlatDeliveryResult:
+    """Outcome of a flat data-delivery step.
+
+    Attributes
+    ----------
+    received:
+        :class:`DistArray` of the data every PE holds after delivery
+        (network messages and locally kept pieces, ordered by sending PE and
+        send order — identical to the reference path's concatenation order).
+    received_msg_src / received_msg_lengths:
+        Source rank and length of every received *run* (message or kept
+        piece), in the same order as they appear inside ``received``.
+    received_msg_offsets:
+        Per-PE offsets into the run arrays (``p + 1`` entries).
+    received_sizes, group_of_rank, group_loads, group_capacity, method:
+        As in :class:`DeliveryResult`.
+    exchange:
+        The underlying :class:`FlatExchangeResult` (network statistics only;
+        locally kept pieces are excluded exactly as in the reference path).
+    """
+
+    received: DistArray
+    received_msg_src: np.ndarray
+    received_msg_lengths: np.ndarray
+    received_msg_offsets: np.ndarray
+    received_sizes: np.ndarray
+    group_of_rank: np.ndarray
+    group_loads: np.ndarray
+    group_capacity: np.ndarray
+    exchange: FlatExchangeResult
+    method: str
+
+    def received_concat(self, local_rank: int) -> np.ndarray:
+        """All data held by ``local_rank`` after delivery (a flat view)."""
+        return self.received.segment(local_rank)
+
+    def nonempty_runs_per_pe(self) -> np.ndarray:
+        """Number of non-empty received runs per PE (merge fan-in)."""
+        counts = np.zeros(self.received.p, dtype=np.int64)
+        run_pe = np.repeat(
+            np.arange(self.received.p, dtype=np.int64),
+            np.diff(self.received_msg_offsets),
+        )
+        nonempty = self.received_msg_lengths > 0
+        np.add.at(counts, run_pe[nonempty], 1)
+        return counts
+
+    def max_received_messages(self) -> int:
+        """Maximum number of network messages received by any PE."""
+        return int(self.exchange.messages_received.max(initial=0))
+
+    def max_sent_messages(self) -> int:
+        """Maximum number of network messages sent by any PE."""
+        return int(self.exchange.messages_sent.max(initial=0))
+
+
+def _piece_starts(sizes: np.ndarray) -> np.ndarray:
+    """Exclusive row-major prefix over the ``(p, r)`` piece-size matrix."""
+    flat = sizes.reshape(-1)
+    return (np.cumsum(flat) - flat).reshape(sizes.shape)
+
+
+def _flat_assign_by_prefix(
+    sizes: np.ndarray,
+    piece_starts: np.ndarray,
+    group_starts: np.ndarray,
+    group_sizes: np.ndarray,
+    order_per_group: Optional[List[np.ndarray]] = None,
+) -> Tuple[List[np.ndarray], np.ndarray, np.ndarray]:
+    """Vectorised :func:`_assign_by_prefix`: message arrays per group."""
+    p, r = sizes.shape
+    group_loads = sizes.sum(axis=0)
+    capacities = np.zeros(r, dtype=np.int64)
+    parts: List[np.ndarray] = []
+    for j in range(r):
+        m_j = int(group_loads[j])
+        p_g = int(group_sizes[j])
+        block = int(math.ceil(m_j / p_g)) if m_j > 0 else 1
+        capacities[j] = block
+        order = order_per_group[j] if order_per_group is not None \
+            else np.arange(p, dtype=np.int64)
+        sz = sizes[order, j]
+        nonempty = sz > 0
+        senders = order[nonempty]
+        sz = sz[nonempty]
+        if sz.size == 0:
+            continue
+        bounds = np.zeros(sz.size + 1, dtype=np.int64)
+        np.cumsum(sz, out=bounds[1:])
+        cuts = block * np.arange(1, p_g, dtype=np.int64)
+        piece_idx, off, lengths, abs_start = split_intervals(bounds, cuts, m_j)
+        src = senders[piece_idx]
+        dest = group_starts[j] + np.minimum(abs_start // block, p_g - 1)
+        start = piece_starts[src, j] + off
+        parts.append(np.stack([src, dest, start, lengths]))
+    return parts, group_loads, capacities
+
+
+def _flat_assign_deterministic(
+    sizes: np.ndarray,
+    piece_starts: np.ndarray,
+    group_starts: np.ndarray,
+    group_sizes: np.ndarray,
+) -> Tuple[List[np.ndarray], np.ndarray, np.ndarray]:
+    """Vectorised :func:`_assign_deterministic` (Section 4.3.1, two phases)."""
+    p, r = sizes.shape
+    total = int(sizes.sum())
+    group_loads = sizes.sum(axis=0)
+    capacities = np.zeros(r, dtype=np.int64)
+    threshold = max(1, total // (2 * p * r)) if total > 0 else 1
+    parts: List[np.ndarray] = []
+    for j in range(r):
+        m_j = int(group_loads[j])
+        p_g = int(group_sizes[j])
+        group_start = int(group_starts[j])
+        if m_j == 0:
+            capacities[j] = 0
+            continue
+        cap = int(math.ceil(m_j / p_g))
+        psj = sizes[:, j]
+        small = np.flatnonzero((psj > 0) & (psj <= threshold))
+        large = np.flatnonzero(psj > threshold)
+
+        # Phase 1: small pieces whole, round-robin by enumeration index.
+        load = np.zeros(p_g, dtype=np.int64)
+        if small.size:
+            pe_small = np.minimum(
+                p_g - 1, np.arange(small.size, dtype=np.int64) // max(1, r)
+            )
+            np.add.at(load, pe_small, psj[small])
+            parts.append(np.stack([
+                small, group_start + pe_small, piece_starts[small, j], psj[small],
+            ]))
+
+        # Phase 2: large pieces fill the residual capacities.
+        large_total = int(psj[large].sum())
+        residual = np.maximum(0, cap - load)
+        if residual.sum() < large_total:
+            bump = int(math.ceil((large_total - int(residual.sum())) / p_g))
+            cap += bump
+            residual = np.maximum(0, cap - load)
+        capacities[j] = int(cap)
+        if large_total > 0:
+            bounds = np.zeros(large.size + 1, dtype=np.int64)
+            np.cumsum(psj[large], out=bounds[1:])
+            res_prefix = np.zeros(p_g + 1, dtype=np.int64)
+            np.cumsum(residual, out=res_prefix[1:])
+            piece_idx, off, lengths, abs_start = split_intervals(
+                bounds, res_prefix[1:-1], large_total
+            )
+            src = large[piece_idx]
+            pe = np.minimum(
+                np.searchsorted(res_prefix, abs_start, side="right") - 1, p_g - 1
+            )
+            parts.append(np.stack([
+                src, group_start + pe, piece_starts[src, j] + off, lengths,
+            ]))
+    return parts, group_loads, capacities
+
+
+def _flat_chunks_for_group(
+    psj: np.ndarray, limit: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Chunk arrays ``(sender, offset, length)`` for one group (advanced).
+
+    Pieces larger than ``limit`` are split into ``ceil(size / limit)``
+    chunks; every chunk of a split piece counts as delegated (Appendix A).
+    """
+    senders = np.flatnonzero(psj > 0)
+    if senders.size == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy(), e.copy(), 0
+    sz = psj[senders]
+    n_chunks = (sz + limit - 1) // limit
+    total_chunks = int(n_chunks.sum())
+    cum_excl = np.cumsum(n_chunks) - n_chunks
+    idx_in_piece = (
+        np.arange(total_chunks, dtype=np.int64) - np.repeat(cum_excl, n_chunks)
+    )
+    chunk_src = np.repeat(senders, n_chunks)
+    chunk_off = idx_in_piece * limit
+    chunk_len = np.minimum(limit, np.repeat(sz, n_chunks) - chunk_off)
+    delegated = int(n_chunks[n_chunks > 1].sum())
+    return chunk_src, chunk_off, chunk_len, delegated
+
+
+def deliver_to_groups_flat(
+    comm,
+    groups,
+    piece_values: np.ndarray,
+    piece_sizes: np.ndarray,
+    method: str = "deterministic",
+    seed: int = 0,
+    oversplit: Optional[float] = None,
+    phase: str = PHASE_DATA_DELIVERY,
+    schedule: str = "sparse",
+) -> FlatDeliveryResult:
+    """Flat-engine port of :func:`deliver_to_groups`.
+
+    Parameters
+    ----------
+    comm, groups, method, seed, oversplit, phase, schedule:
+        As for :func:`deliver_to_groups`.
+    piece_values:
+        Flat buffer holding every PE's pieces in ``(PE, group)`` order:
+        piece ``(i, j)`` occupies ``piece_sizes[i, :j].sum()`` positions past
+        the start of PE ``i``'s block, elements in original order.
+    piece_sizes:
+        ``(p, r)`` int64 matrix of piece sizes.
+    """
+    if method not in DELIVERY_METHODS:
+        raise ValueError(f"unknown delivery method {method!r}; choose from {DELIVERY_METHODS}")
+    p = comm.size
+    r = len(groups)
+    if r == 0:
+        raise ValueError("need at least one target group")
+    piece_sizes = np.asarray(piece_sizes, dtype=np.int64)
+    if piece_sizes.shape != (p, r):
+        raise ValueError(f"piece_sizes must have shape ({p}, {r})")
+    piece_values = np.asarray(piece_values)
+    if piece_values.size != int(piece_sizes.sum()):
+        raise ValueError("piece_values size does not match piece_sizes")
+    group_starts, group_sizes = _group_layout(groups)
+    if int(group_sizes.sum()) != p:
+        raise ValueError("groups must partition the parent communicator")
+    starts_matrix = _piece_starts(piece_sizes)
+
+    with comm.phase(phase):
+        # Same enumeration prefix-sum collective as the reference path.
+        comm.exscan_rows(piece_sizes)
+
+        if method == "naive":
+            parts, group_loads, capacities = _flat_assign_by_prefix(
+                piece_sizes, starts_matrix, group_starts, group_sizes, None
+            )
+        elif method == "randomized":
+            orders = []
+            for j in range(r):
+                perm = FeistelPermutation(p, seed=seed * 104729 + j)
+                orders.append(np.argsort(perm.permutation_array(), kind="stable"))
+            parts, group_loads, capacities = _flat_assign_by_prefix(
+                piece_sizes, starts_matrix, group_starts, group_sizes, orders
+            )
+        else:
+            if method == "deterministic":
+                parts, group_loads, capacities = _flat_assign_deterministic(
+                    piece_sizes, starts_matrix, group_starts, group_sizes
+                )
+            else:  # advanced
+                parts, group_loads, capacities = _flat_assign_advanced(
+                    comm, piece_sizes, starts_matrix, group_starts, group_sizes,
+                    seed, oversplit, schedule,
+                )
+
+        if parts:
+            stacked = np.concatenate(parts, axis=1)
+            src, dest, start, length = stacked
+        else:
+            src = dest = start = length = np.empty(0, dtype=np.int64)
+        msgs = FlatMessages(src, dest, start, length, piece_values)
+
+        # Locally kept (self-addressed) pieces stay off the network; they are
+        # charged one by one in send order, exactly like the reference loop.
+        kept_mask = msgs.src == msgs.dest
+        spec = comm.spec
+        for k in np.flatnonzero(kept_mask):
+            comm.charge_local(int(msgs.src[k]), spec.local_move_time(int(msgs.length[k])))
+
+        exchange = comm.exchange_flat(
+            msgs.select(~kept_mask), schedule=schedule, build_inbox=False
+        )
+
+        # Assemble the received DistArray from *all* runs (network + kept):
+        # order by (receiver, source, send order) — identical to the
+        # reference's per-PE `sort(key=source)` on inbox + kept entries.
+        order = stable_two_key_argsort(msgs.dest, msgs.src, p, p)
+        run_src = msgs.src[order]
+        run_dest = msgs.dest[order]
+        run_lengths = msgs.length[order]
+        recv_values = piece_values[concat_ranges(msgs.start[order], run_lengths)]
+        received_sizes = np.zeros(p, dtype=np.int64)
+        np.add.at(received_sizes, msgs.dest, msgs.length)
+        received = DistArray.from_sizes(recv_values, received_sizes)
+        run_offsets = np.zeros(p + 1, dtype=np.int64)
+        np.cumsum(np.bincount(run_dest, minlength=p), out=run_offsets[1:])
+
+        group_of_rank = np.repeat(np.arange(r, dtype=np.int64), group_sizes)
+
+    return FlatDeliveryResult(
+        received=received,
+        received_msg_src=run_src,
+        received_msg_lengths=run_lengths,
+        received_msg_offsets=run_offsets,
+        received_sizes=received_sizes,
+        group_of_rank=group_of_rank,
+        group_loads=group_loads.astype(np.int64),
+        group_capacity=capacities,
+        exchange=exchange,
+        method=method,
+    )
+
+
+def _flat_assign_advanced(
+    comm,
+    sizes: np.ndarray,
+    piece_starts: np.ndarray,
+    group_starts: np.ndarray,
+    group_sizes: np.ndarray,
+    seed: int,
+    oversplit: Optional[float],
+    schedule: str,
+) -> Tuple[List[np.ndarray], np.ndarray, np.ndarray]:
+    """Vectorised advanced randomized assignment (Appendix A).
+
+    Reproduces :func:`_advanced_orders` + the descriptor delegation exchange
+    + the chunk-order prefix enumeration of the reference path.
+    """
+    p, r = sizes.shape
+    total = int(sizes.sum())
+    a_param = oversplit
+    if a_param is None:
+        a_param = max(1.0, math.sqrt(r / math.log(max(r * p, 2))))
+    limit = max(1, int(math.ceil(a_param * total / max(1, r * p)))) if total > 0 else 1
+
+    per_group: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    delegated = 0
+    for j in range(r):
+        chunk_src, chunk_off, chunk_len, dj = _flat_chunks_for_group(sizes[:, j], limit)
+        if chunk_src.size > 1:
+            perm = FeistelPermutation(chunk_src.size, seed=seed * 7919 + j)
+            order = np.argsort(perm.permutation_array(), kind="stable")
+            chunk_src, chunk_off, chunk_len = (
+                chunk_src[order], chunk_off[order], chunk_len[order]
+            )
+        per_group.append((chunk_src, chunk_off, chunk_len))
+        delegated += dj
+
+    # Descriptor delegation: one constant-size descriptor per chunk of a
+    # broken-up piece, to a pseudorandom PE (cost-only exchange).
+    if delegated > 0:
+        perm = FeistelPermutation(max(delegated, 1), seed=seed * 15485863 + 1)
+        desc_src: List[int] = []
+        desc_dest: List[int] = []
+        t = 0
+        for j, (chunk_src, chunk_off, chunk_len) in enumerate(per_group):
+            split_chunk = (chunk_len >= 1) & (
+                (sizes[chunk_src, j] > chunk_len) | (chunk_off > 0)
+            )
+            for i in chunk_src[split_chunk]:
+                desc_src.append(int(i))
+                desc_dest.append(int(perm.apply(t % max(delegated, 1))) % p)
+                t += 1
+        n_desc = len(desc_src)
+        desc_msgs = FlatMessages(
+            np.asarray(desc_src, dtype=np.int64),
+            np.asarray(desc_dest, dtype=np.int64),
+            np.zeros(n_desc, dtype=np.int64),
+            np.full(n_desc, 3, dtype=np.int64),
+            np.zeros(3, dtype=np.int64),
+        )
+        comm.exchange_flat(desc_msgs, schedule=schedule, charge_copy=False,
+                           build_inbox=False)
+
+    group_loads = sizes.sum(axis=0)
+    capacities = np.zeros(r, dtype=np.int64)
+    parts: List[np.ndarray] = []
+    for j, (chunk_src, chunk_off, chunk_len) in enumerate(per_group):
+        m_j = int(group_loads[j])
+        p_g = int(group_sizes[j])
+        block = int(math.ceil(m_j / p_g)) if m_j > 0 else 1
+        capacities[j] = block
+        if chunk_src.size == 0:
+            continue
+        bounds = np.zeros(chunk_src.size + 1, dtype=np.int64)
+        np.cumsum(chunk_len, out=bounds[1:])
+        cuts = block * np.arange(1, p_g, dtype=np.int64)
+        chunk_idx, off, lengths, abs_start = split_intervals(bounds, cuts, m_j)
+        src = chunk_src[chunk_idx]
+        dest = group_starts[j] + np.minimum(abs_start // block, p_g - 1)
+        start = piece_starts[src, j] + chunk_off[chunk_idx] + off
+        parts.append(np.stack([src, dest, start, lengths]))
+    return parts, group_loads, capacities

@@ -65,26 +65,33 @@ def scan_buckets_with_bound(
 
     Returns the boundaries array on success and ``None`` when the bound is
     infeasible.  A single bucket larger than ``bound`` always fails.
+
+    Each group is found with one binary search over the prefix sums (the
+    group ends before the first bucket that would push it past ``bound``),
+    so a scan costs ``O(r log(br))`` instead of ``O(br)`` bucket steps.
     """
     sizes = np.asarray(bucket_sizes, dtype=np.int64)
     if num_groups <= 0:
         raise ValueError("need at least one group")
     if bound < 0:
         return None
+    m = int(sizes.size)
+    csum = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(sizes, out=csum[1:])
     boundaries = [0]
-    load = 0
-    for idx, s in enumerate(sizes):
-        s = int(s)
-        if s > bound:
+    start = 0
+    while start < m:
+        end = int(np.searchsorted(csum, csum[start] + bound, side="right")) - 1
+        if end <= start:
+            return None  # bucket `start` alone exceeds the bound
+        if end >= m:
+            break
+        boundaries.append(end)
+        if len(boundaries) - 1 >= num_groups:
             return None
-        if load + s > bound:
-            boundaries.append(idx)
-            load = 0
-            if len(boundaries) - 1 >= num_groups:
-                return None
-        load += s
+        start = end
     while len(boundaries) < num_groups + 1:
-        boundaries.append(int(sizes.size))
+        boundaries.append(m)
     return np.asarray(boundaries, dtype=np.int64)
 
 
@@ -110,31 +117,45 @@ def _scan_observing(
     fit on top of a group of size ``x`` (valid on failure; any bound below it
     reproduces the same failed partition, so it becomes the new lower bound).
     """
+    m = int(sizes.size)
+    csum = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(sizes, out=csum[1:])
     boundaries = [0]
-    load = 0
     largest = 0
     min_overflow = np.iinfo(np.int64).max
     feasible = True
-    for idx, s in enumerate(sizes):
-        s = int(s)
-        if s > bound:
-            feasible = False
-            min_overflow = min(min_overflow, s)
-            break
-        if load + s > bound:
-            min_overflow = min(min_overflow, load + s)
-            boundaries.append(idx)
+    start = 0
+    # Jump scan: each group ends right before the first bucket that would
+    # push it past the bound (one binary search over the prefix sums).  The
+    # observed values match the sequential bucket-by-bucket walk: group
+    # loads are the same, and the overflow recorded when a bucket does not
+    # fit (`load + s`) or is too big by itself (`s`) yields the same
+    # minimum because `s <= load + s`.
+    while start < m:
+        end = int(np.searchsorted(csum, csum[start] + bound, side="right")) - 1
+        load = int(csum[end] - csum[start])
+        if end >= m:
             largest = max(largest, load)
-            load = 0
-            if len(boundaries) - 1 >= num_groups:
-                feasible = False
-                break
-        load += s
-    largest = max(largest, load)
+            break
+        overflow = int(csum[end + 1] - csum[start])
+        if int(sizes[end]) > bound:
+            # The non-fitting bucket is too big for any group: the
+            # sequential scan stops here without closing the current group.
+            feasible = False
+            largest = max(largest, load)
+            min_overflow = min(min_overflow, int(sizes[end]))
+            break
+        min_overflow = min(min_overflow, overflow)
+        boundaries.append(end)
+        largest = max(largest, load)
+        if len(boundaries) - 1 >= num_groups:
+            feasible = False
+            break
+        start = end
     if not feasible:
         return None, largest, int(min_overflow)
     while len(boundaries) < num_groups + 1:
-        boundaries.append(int(sizes.size))
+        boundaries.append(m)
     return np.asarray(boundaries, dtype=np.int64), largest, int(min_overflow)
 
 
@@ -238,6 +259,28 @@ def optimal_bucket_grouping(
         group_loads=loads,
         scan_calls=scan_calls,
     )
+
+
+def bucket_to_group(boundaries: np.ndarray, bucket_idx: np.ndarray) -> np.ndarray:
+    """Vectorised bucket-index → group-index mapping for a grouping result.
+
+    ``boundaries`` is the :class:`GroupingResult` boundary vector
+    (``num_groups + 1`` entries); ``bucket_idx`` may be any shape.  Used by
+    the flat engine to route all elements of the machine in one call.
+    """
+    boundaries = np.asarray(boundaries, dtype=np.int64)
+    bucket_idx = np.asarray(bucket_idx, dtype=np.int64)
+    if boundaries.size <= 2:
+        return np.zeros(bucket_idx.shape, dtype=np.int64)
+    # A direct bucket -> group lookup table beats a binary search per
+    # element (the number of buckets is small, the element count is not).
+    # The table covers buckets 0 .. boundaries[-1] - 1 because boundaries
+    # are non-decreasing and start at 0 (GroupingResult invariant).
+    num_groups = int(boundaries.size) - 1
+    lut = np.repeat(
+        np.arange(num_groups, dtype=np.int64), np.diff(boundaries)
+    )
+    return lut[bucket_idx]
 
 
 def optimal_max_load_dp(bucket_sizes: Sequence[int], num_groups: int) -> int:

@@ -35,6 +35,8 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.dist.array import DistArray
+
 
 @dataclass
 class MultiselectResult:
@@ -208,3 +210,142 @@ def multisequence_select(
 def a_items(d):
     """Deterministically ordered ``dict.items()`` (by key)."""
     return sorted(d.items())
+
+
+def multisequence_select_flat(
+    comm,
+    local_sorted: DistArray,
+    ranks: Sequence[int],
+    charge_local: bool = True,
+) -> MultiselectResult:
+    """Flat-engine port of :func:`multisequence_select`.
+
+    Operates on a :class:`DistArray` whose segments are individually sorted.
+    The iteration structure (pivot choices from the replicated RNG, window
+    narrowing, one vector all-reduce per round) is identical to the per-PE
+    reference, so the charged costs and the resulting split matrix match it
+    bit for bit.  The per-``(rank, PE)`` window counting is vectorised: for
+    every PE, one pair of ``searchsorted`` calls over all active pivots
+    replaces the per-rank binary-search loop — counting elements ``<=``
+    pivot inside a window ``[lo, hi)`` of a sorted segment is
+    ``clip(full-segment position, lo, hi) - lo``.
+    """
+    p = comm.size
+    if local_sorted.p != p:
+        raise ValueError("need one sorted segment per member PE")
+    values = local_sorted.values
+    offsets = local_sorted.offsets
+    sizes = local_sorted.sizes()
+    if values.size > 1:
+        same_seg = local_sorted.segment_ids()
+        interior = same_seg[1:] == same_seg[:-1]
+        if np.any(values[1:][interior] < values[:-1][interior]):
+            raise ValueError("local segments must be individually sorted")
+    total = int(sizes.sum())
+    ranks_arr = np.asarray(ranks, dtype=np.int64)
+    num_ranks = int(ranks_arr.size)
+    if np.any(ranks_arr < 0) or np.any(ranks_arr > total):
+        raise ValueError(f"ranks must lie in 0..{total}")
+    if num_ranks > 1 and np.any(np.diff(ranks_arr) < 0):
+        raise ValueError("ranks must be non-decreasing")
+
+    lo = np.zeros((num_ranks, p), dtype=np.int64)
+    hi = np.tile(sizes, (num_ranks, 1))
+    done = np.zeros(num_ranks, dtype=bool)
+    for t, k in enumerate(ranks_arr):
+        if k == 0:
+            hi[t] = 0
+            done[t] = True
+        elif k == total:
+            lo[t] = sizes
+            hi[t] = sizes
+            done[t] = True
+
+    iterations = 0
+    max_iterations = 64 + 4 * int(np.ceil(np.log2(max(total, 2)))) * max(1, num_ranks)
+    nonempty_pes = np.flatnonzero(sizes > 0)
+
+    while not done.all():
+        iterations += 1
+        if iterations > max_iterations + total:
+            raise RuntimeError("multisequence selection failed to converge")
+
+        # --- choose pivots: identical replicated-RNG consumption ----------
+        pivots = {}
+        for t in range(num_ranks):
+            if done[t]:
+                continue
+            widths = hi[t] - lo[t]
+            remaining = int(widths.sum())
+            if remaining == 0:
+                if int(lo[t].sum()) != int(ranks_arr[t]):
+                    raise RuntimeError("multiselect window collapsed at wrong rank")
+                done[t] = True
+                continue
+            u = int(comm.rng.integers(0, remaining))
+            csum = np.cumsum(widths)
+            q = int(np.searchsorted(csum, u, side="right"))
+            offset = u - (int(csum[q - 1]) if q > 0 else 0)
+            pos = int(lo[t, q] + offset)
+            pivots[t] = (values[offsets[q] + pos], q, pos)
+        if not pivots:
+            continue
+
+        active = np.asarray(sorted(pivots), dtype=np.int64)
+        pvs = np.asarray([pivots[int(t)][0] for t in active])
+        qs = np.asarray([pivots[int(t)][1] for t in active], dtype=np.int64)
+        poss = np.asarray([pivots[int(t)][2] for t in active], dtype=np.int64)
+
+        # --- vectorised window counting -----------------------------------
+        counts = np.zeros((num_ranks, p), dtype=np.int64)
+        search_ops = np.zeros(p, dtype=np.int64)
+        for i in nonempty_pes:
+            i = int(i)
+            lo_i = lo[active, i]
+            hi_i = hi[active, i]
+            open_windows = hi_i > lo_i
+            if not open_windows.any():
+                continue
+            seg = values[offsets[i]:offsets[i + 1]]
+            pos_right = np.searchsorted(seg, pvs, side="right")
+            pos_left = np.searchsorted(seg, pvs, side="left")
+            full_pos = np.where(i < qs, pos_right, pos_left)
+            cnt = np.clip(full_pos, lo_i, hi_i) - lo_i
+            own = qs == i
+            if own.any():
+                cnt = np.where(own, poss - lo_i + 1, cnt)
+            cnt = np.where(open_windows, cnt, 0)
+            counts[active, i] = cnt
+            search_ops[i] = int(np.count_nonzero(open_windows))
+        if charge_local:
+            comm.charge_local_many(
+                [
+                    comm.spec.comparison_ns
+                    * 1e-9
+                    * float(ops)
+                    * max(1.0, np.log2(max(int(s), 2)))
+                    for ops, s in zip(search_ops, sizes)
+                ]
+            )
+
+        # --- one vector-valued all-reduce over all active ranks -----------
+        totals = comm.allreduce_rows(counts.T)
+
+        # --- narrow the candidate windows ---------------------------------
+        for t, (pv, q, pos) in a_items(pivots):
+            target = int(ranks_arr[t] - lo[t].sum())
+            got = int(totals[t])
+            if got <= target:
+                lo[t] += counts[t]
+                if got == target:
+                    hi[t] = lo[t]
+                    done[t] = True
+            else:
+                hi[t] = lo[t] + counts[t]
+                hi[t, q] -= 1
+
+    splits = lo
+    sums = splits.sum(axis=1)
+    if not np.array_equal(sums, ranks_arr):
+        raise RuntimeError("multisequence selection produced wrong rank sums")
+    return MultiselectResult(splits=splits, iterations=iterations)

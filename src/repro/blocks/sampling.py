@@ -23,6 +23,8 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.dist.array import DistArray
+
 
 def default_oversampling(n_total: int) -> float:
     """The oversampling factor used in the paper's experiments: ``1.6 * log10(n)``."""
@@ -139,6 +141,25 @@ def draw_samples(
         raise ValueError("need one local array and one RNG per PE")
     per_pe = params.samples_per_pe(p, r)
     return [draw_local_sample(np.asarray(d), per_pe, g) for d, g in zip(local_data, rngs)]
+
+
+def draw_samples_flat(
+    data: DistArray, count: int, rngs: Sequence[np.random.Generator]
+) -> DistArray:
+    """Segment-aware sample drawing for the flat engine.
+
+    Draws ``count`` elements from every PE segment of ``data`` using that
+    PE's own random stream (``rngs[i]``), exactly like the per-PE reference
+    (:func:`draw_local_sample` per PE), and returns the sample as a
+    :class:`DistArray`.  The per-PE RNG streams are consumed in ascending PE
+    order so the drawn sample is byte-identical to the reference path.
+    """
+    if len(rngs) != data.p:
+        raise ValueError("need one RNG per PE segment")
+    samples = [
+        draw_local_sample(data.segment(i), count, rngs[i]) for i in range(data.p)
+    ]
+    return DistArray.from_list(samples)
 
 
 def splitter_ranks(sample_size: int, num_splitters: int) -> np.ndarray:

@@ -18,14 +18,17 @@
 """
 
 from repro.core.config import AMSConfig, RLMConfig, level_plan
-from repro.core.ams_sort import ams_sort
-from repro.core.rlm_sort import rlm_sort
+from repro.core.ams_sort import ams_sort, ams_sort_reference
+from repro.core.rlm_sort import rlm_sort, rlm_sort_reference
 from repro.core.baselines import (
     single_level_sample_sort,
+    single_level_sample_sort_reference,
     single_level_mergesort,
+    single_level_mergesort_reference,
     parallel_quicksort,
+    parallel_quicksort_reference,
 )
-from repro.core.runner import SortResult, run_on_machine, sort_array
+from repro.core.runner import ENGINES, SortResult, run_on_machine, sort_array
 from repro.core.validation import (
     check_globally_sorted,
     check_permutation,
@@ -38,10 +41,16 @@ __all__ = [
     "RLMConfig",
     "level_plan",
     "ams_sort",
+    "ams_sort_reference",
     "rlm_sort",
+    "rlm_sort_reference",
     "single_level_sample_sort",
+    "single_level_sample_sort_reference",
     "single_level_mergesort",
+    "single_level_mergesort_reference",
     "parallel_quicksort",
+    "parallel_quicksort_reference",
+    "ENGINES",
     "SortResult",
     "run_on_machine",
     "sort_array",

@@ -21,19 +21,42 @@ sub-groups:
 
 The result is a globally sorted distributed array with at most a
 ``(1 + eps)`` output imbalance (Theorem 3).
+
+Two execution engines produce the same algorithm:
+
+* :func:`ams_sort` — the *flat* engine: the distributed array lives in a
+  :class:`~repro.dist.array.DistArray` (one contiguous buffer + CSR
+  offsets) and every phase is a handful of vectorised numpy calls over the
+  whole machine, which is what makes ``p = 4096`` runs feasible.
+* :func:`ams_sort_reference` — the original per-PE implementation
+  (``List[np.ndarray]`` + ``for i in range(p)`` loops), kept as the
+  executable specification.  The flat engine is verified to reproduce its
+  outputs, clocks and phase breakdowns byte for byte.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import math
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.blocks.delivery import deliver_to_groups
-from repro.blocks.fast_sort import select_splitters_by_rank
-from repro.blocks.grouping import optimal_bucket_grouping
-from repro.blocks.sampling import SamplingParams, draw_local_sample, splitter_ranks
+from repro.blocks.delivery import deliver_to_groups, deliver_to_groups_flat
+from repro.blocks.fast_sort import (
+    grid_shape,
+    select_splitters_by_rank,
+    select_splitters_by_rank_flat,
+)
+from repro.blocks.grouping import bucket_to_group, optimal_bucket_grouping
+from repro.blocks.sampling import (
+    SamplingParams,
+    draw_local_sample,
+    draw_samples_flat,
+    splitter_ranks,
+)
 from repro.core.config import AMSConfig
+from repro.dist.array import DistArray
+from repro.dist.flatops import concat_ranges, stable_two_key_argsort
 from repro.machine.counters import (
     PHASE_BUCKET_PROCESSING,
     PHASE_DATA_DELIVERY,
@@ -41,6 +64,7 @@ from repro.machine.counters import (
     PHASE_SPLITTER_SELECTION,
 )
 from repro.seq.partition import bucket_indices
+from repro.sim.groups import GroupBatch
 
 
 def _centralized_splitters(comm, samples: List[np.ndarray], num_splitters: int) -> np.ndarray:
@@ -49,10 +73,15 @@ def _centralized_splitters(comm, samples: List[np.ndarray], num_splitters: int) 
     This is the scheme of the earlier multi-level sample sort of
     Gerbessiotis and Valiant which AMS-sort replaces with the fast parallel
     sample sort; kept as an option for comparison experiments.
+
+    The modelled gather cost is driven by the *largest* per-PE contribution:
+    the gather's bottleneck is the PE that injects the most sample words,
+    not the average one (with unequal local sizes the mean underestimates
+    the critical path).
     """
     with comm.phase(PHASE_SPLITTER_SELECTION):
-        gathered = comm.gather(samples, root=0,
-                               words_each=max(1, int(np.mean([s.size for s in samples]))))
+        words_each = max(1, max((int(np.asarray(s).size) for s in samples), default=1))
+        gathered = comm.gather(samples, root=0, words_each=words_each)
         sample = np.concatenate([np.asarray(s) for s in gathered if np.asarray(s).size > 0]) \
             if any(np.asarray(s).size for s in gathered) else np.empty(0)
         sample = np.sort(sample, kind="stable")
@@ -101,7 +130,7 @@ def _partition_into_group_pieces(
     return pieces
 
 
-def ams_sort(
+def ams_sort_reference(
     comm,
     local_data: Sequence[np.ndarray],
     config: Optional[AMSConfig] = None,
@@ -109,24 +138,12 @@ def ams_sort(
     _plan: Optional[List[int]] = None,
     _n_total: Optional[int] = None,
 ) -> List[np.ndarray]:
-    """Sort a distributed array with AMS-sort.
+    """Per-PE reference implementation of AMS-sort (the seed engine).
 
-    Parameters
-    ----------
-    comm:
-        Communicator over the PEs holding the data.
-    local_data:
-        One array per member PE.
-    config:
-        :class:`AMSConfig`; defaults to two levels with the paper's sampling
-        parameters.
-    level:
-        Internal recursion level (leave at 0).
-
-    Returns
-    -------
-    list of numpy.ndarray
-        The sorted output, one array per member PE (ordered by PE).
+    Semantically identical to :func:`ams_sort` but materialises every PE's
+    data as its own array and loops over PEs in Python; kept as the
+    executable specification the flat engine is verified against, and for
+    small-``p`` debugging.
     """
     if config is None:
         config = AMSConfig()
@@ -220,7 +237,7 @@ def ams_sort(
         group_local = [
             delivery.received_concat(group_rank_offset + j) for j in range(group.size)
         ]
-        sorted_group = ams_sort(
+        sorted_group = ams_sort_reference(
             group,
             group_local,
             config=config,
@@ -231,3 +248,526 @@ def ams_sort(
         for j in range(group.size):
             output[group_rank_offset + j] = sorted_group[j]
     return output
+
+
+def _next_level_r(plan: List[int], next_level: int, group_size: int) -> int:
+    """Group count the recursion would use for a group at ``next_level``."""
+    if group_size == 1:
+        return 1
+    if next_level < len(plan):
+        r = min(int(plan[next_level]), group_size)
+    else:
+        r = group_size
+    return max(2, min(r, group_size))
+
+
+def _ams_sort_last_level_batched(
+    comm,
+    groups,
+    received: DistArray,
+    config: AMSConfig,
+    level: int,
+    _n_total: int,
+) -> DistArray:
+    """Run the final AMS-sort level of *all* sub-groups (islands) in lockstep.
+
+    Precondition (checked by the caller): every island of size > 1 splits
+    into singleton groups at this level (``r == p``), its fast-sample-sort
+    grid covers all of its PEs, and the delivery method is not ``advanced``.
+    Under these conditions the per-island recursion bodies are the same
+    program on disjoint PE sets, so the whole level runs as one batch of
+    segmented whole-machine operations: per-island collectives become
+    :class:`~repro.sim.groups.GroupBatch` charges, the singleton-group
+    delivery degenerates to "each non-empty piece is one whole message", and
+    the ``p`` recursive base cases collapse into one segmented sort.  Every
+    PE receives exactly the charge sequence of the island-by-island
+    reference execution.
+    """
+    machine = comm.machine
+    spec = comm.spec
+    sampling = config.sampling_for(max(_n_total, 2))
+    num_islands = len(groups)
+
+    isl_sizes_all = np.array([g.size for g in groups], dtype=np.int64)
+    rank_offsets_all = np.zeros(num_islands + 1, dtype=np.int64)
+    np.cumsum(isl_sizes_all, out=rank_offsets_all[1:])
+    multi_idx = np.flatnonzero(isl_sizes_all > 1)
+    single_idx = np.flatnonzero(isl_sizes_all == 1)
+
+    out_b: Optional[DistArray] = None
+    sorted_singles: Optional[DistArray] = None
+
+    if multi_idx.size:
+        sizes_m = isl_sizes_all[multi_idx]           # island sizes (= r per island)
+        n_m = int(multi_idx.size)
+        isl_offsets = np.zeros(n_m + 1, dtype=np.int64)
+        np.cumsum(sizes_m, out=isl_offsets[1:])
+        q = int(isl_offsets[-1])                     # PEs in the batch
+        batch_ranks = concat_ranges(rank_offsets_all[multi_idx], sizes_m)
+        batch_members = comm.members[batch_ranks]
+        island_of_pe = np.repeat(np.arange(n_m, dtype=np.int64), sizes_m)
+        islands = GroupBatch(machine, batch_members, isl_offsets)
+        if single_idx.size == 0:
+            dist_b = received
+        else:
+            dist_b = DistArray.concatenate([
+                received.slice_segments(
+                    int(rank_offsets_all[g]), int(rank_offsets_all[g + 1])
+                )
+                for g in multi_idx
+            ])
+        data_sizes = dist_b.sizes()
+
+        # --------------------------------------------------------------
+        # 1. Sampling (segment-aware, per-PE RNG streams)
+        # --------------------------------------------------------------
+        with comm.phase(PHASE_SPLITTER_SELECTION):
+            per_pe_counts = np.repeat(
+                np.array(
+                    [sampling.samples_per_pe(int(pk), int(pk)) for pk in sizes_m],
+                    dtype=np.int64,
+                ),
+                sizes_m,
+            )
+            samples_b = DistArray.from_list([
+                draw_local_sample(
+                    dist_b.segment(i),
+                    int(per_pe_counts[i]),
+                    machine.pe_rng(int(batch_members[i])),
+                )
+                for i in range(q)
+            ])
+
+            # ----------------------------------------------------------
+            # 2. Fast work-inefficient sample sort, batched over islands
+            # ----------------------------------------------------------
+            s_sizes = samples_b.sizes()
+            machine.advance_many(
+                batch_members, [spec.local_sort_time(int(m)) for m in s_sizes]
+            )
+            isl_sample_sizes = np.add.reduceat(s_sizes, isl_offsets[:-1])
+            active = np.flatnonzero(isl_sample_sizes > 0)
+
+            shapes = [grid_shape(int(pk)) for pk in sizes_m]
+            if active.size:
+                # Row gossip: rows are contiguous PE runs inside each island.
+                row_members: List[np.ndarray] = []
+                row_sizes: List[int] = []
+                row_words: List[int] = []
+                col_members: List[np.ndarray] = []
+                col_sizes: List[int] = []
+                col_words: List[int] = []
+                merge_pes: List[np.ndarray] = []
+                merge_ts: List[float] = []
+                for k in active:
+                    k = int(k)
+                    rows, cols = shapes[k].rows, shapes[k].cols
+                    base = int(isl_offsets[k])
+                    grid = np.arange(base, base + rows * cols, dtype=np.int64)
+                    grid2d = grid.reshape(rows, cols)
+                    sz2d = s_sizes[grid2d]
+                    row_tot = sz2d.sum(axis=1)
+                    col_tot = sz2d.sum(axis=0)
+                    for ri in range(rows):
+                        row_members.append(batch_members[grid2d[ri]])
+                        row_sizes.append(cols)
+                        row_words.append(
+                            max(1, int(math.ceil(int(row_tot[ri]) / max(cols, 1))))
+                        )
+                    for cj in range(cols):
+                        col_members.append(batch_members[grid2d[:, cj]])
+                        col_sizes.append(rows)
+                        col_words.append(
+                            max(1, int(math.ceil(int(col_tot[cj]) / max(rows, 1))))
+                        )
+                    merge_pes.append(batch_members[grid])
+                    merge_sz = row_tot[:, None] + col_tot[None, :]
+                    merge_ts.extend(
+                        spec.local_merge_time(int(m), 2) for m in merge_sz.reshape(-1)
+                    )
+
+                def _batch(members_list, sizes_list):
+                    offs = np.zeros(len(sizes_list) + 1, dtype=np.int64)
+                    np.cumsum(np.asarray(sizes_list, dtype=np.int64), out=offs[1:])
+                    return GroupBatch(machine, np.concatenate(members_list), offs)
+
+                row_batch = _batch(row_members, row_sizes)
+                row_batch.charge_collective(row_words, rounds_factors=row_sizes)
+                col_batch = _batch(col_members, col_sizes)
+                col_batch.charge_collective(col_words, rounds_factors=col_sizes)
+                machine.advance_many(np.concatenate(merge_pes), merge_ts)
+                col_red_words = []
+                for k in active:
+                    k = int(k)
+                    rows, cols = shapes[k].rows, shapes[k].cols
+                    base = int(isl_offsets[k])
+                    sz2d = s_sizes[base:base + rows * cols].reshape(rows, cols)
+                    col_red_words.extend(int(c) for c in sz2d.sum(axis=0))
+                col_batch.charge_collective(col_red_words)
+
+            # Sample sort data: one segmented stable argsort over the batch.
+            sample_isl_totals = isl_sample_sizes
+            sample_isl_offsets = np.zeros(n_m + 1, dtype=np.int64)
+            np.cumsum(sample_isl_totals, out=sample_isl_offsets[1:])
+            sample_island = np.repeat(np.arange(n_m, dtype=np.int64), sample_isl_totals)
+            order = np.lexsort((samples_b.values, sample_island))
+            sorted_samples = samples_b.values[order]
+
+            splitters_per_isl: List[np.ndarray] = []
+            bcast_idx: List[int] = []
+            bcast_words: List[int] = []
+            for k in range(n_m):
+                ns_k = sampling.num_splitters(int(sizes_m[k]))
+                tot = int(sample_isl_totals[k])
+                if ns_k <= 0 or tot == 0:
+                    splitters_per_isl.append(sorted_samples[:0])
+                    continue
+                ranks = ((np.arange(1, ns_k + 1) * tot) // (ns_k + 1))
+                ranks = np.clip(ranks, 0, tot - 1)
+                spl = sorted_samples[int(sample_isl_offsets[k]) + ranks]
+                splitters_per_isl.append(spl)
+                bcast_idx.append(k)
+                bcast_words.append(int(spl.size))
+            if bcast_idx:
+                islands.select(np.asarray(bcast_idx)).charge_collective(bcast_words)
+
+        # --------------------------------------------------------------
+        # 3. Bucket processing (counting, grouping, partition)
+        # --------------------------------------------------------------
+        with comm.phase(PHASE_BUCKET_PROCESSING):
+            nb_per_isl = np.array(
+                [max(1, int(spl.size) + 1) if spl.size else 1
+                 for spl in splitters_per_isl],
+                dtype=np.int64,
+            )
+            bucketed = []
+            for k in range(n_m):
+                lo_v = int(dist_b.offsets[isl_offsets[k]])
+                hi_v = int(dist_b.offsets[isl_offsets[k + 1]])
+                vals_k = dist_b.values[lo_v:hi_v]
+                spl = splitters_per_isl[k]
+                if spl.size == 0:
+                    bucket_of_k = np.zeros(vals_k.size, dtype=np.int64)
+                    gbs_k = np.array([vals_k.size], dtype=np.int64)
+                else:
+                    bucket_of_k = bucket_indices(vals_k, spl)
+                    gbs_k = np.bincount(
+                        bucket_of_k, minlength=int(spl.size) + 1
+                    ).astype(np.int64)
+                bucketed.append((gbs_k, bucket_of_k))
+            islands.charge_collective([int(x) for x in nb_per_isl])
+            dest_parts: List[np.ndarray] = []
+            for k in range(n_m):
+                gbs_k, bucket_of_k = bucketed[k]
+                grouping = optimal_bucket_grouping(
+                    gbs_k, int(sizes_m[k]), method="accelerated"
+                )
+                dest_parts.append(
+                    bucket_to_group(grouping.boundaries, bucket_of_k)
+                )
+            islands.charge_collective([1] * n_m)  # max-reduce of the bound
+            dest_local = (
+                np.concatenate(dest_parts) if dest_parts
+                else np.empty(0, dtype=np.int64)
+            )
+
+            r_per_pe = np.repeat(sizes_m, sizes_m)
+            pe_piece_base = np.cumsum(r_per_pe) - r_per_pe
+            pe_of_element = dist_b.segment_ids()
+            key = pe_piece_base[pe_of_element] + dest_local
+            total_pieces = int(r_per_pe.sum())
+            order = stable_two_key_argsort(
+                pe_of_element, dest_local, q, int(sizes_m.max())
+            )
+            piece_values = dist_b.values[order]
+            piece_len = np.bincount(key, minlength=total_pieces).astype(
+                np.int64, copy=False
+            )
+            machine.advance_many(
+                batch_members,
+                [
+                    spec.local_partition_time(
+                        int(m), max(2, int(nb_per_isl[island_of_pe[i]]))
+                    )
+                    for i, m in enumerate(data_sizes)
+                ],
+            )
+
+        # --------------------------------------------------------------
+        # 4. Delivery to singleton groups: one whole message per piece
+        # --------------------------------------------------------------
+        with comm.phase(PHASE_DATA_DELIVERY):
+            islands.charge_collective([int(pk) for pk in sizes_m])  # exscan
+            piece_pe = np.repeat(np.arange(q, dtype=np.int64), r_per_pe)
+            piece_j = np.arange(total_pieces, dtype=np.int64) - pe_piece_base[piece_pe]
+            piece_dest = isl_offsets[island_of_pe[piece_pe]] + piece_j
+            piece_start = np.cumsum(piece_len) - piece_len
+            nonempty = piece_len > 0
+            msg_src = piece_pe[nonempty]
+            msg_dest = piece_dest[nonempty]
+            msg_len = piece_len[nonempty]
+            msg_start = piece_start[nonempty]
+
+            kept_mask = msg_src == msg_dest
+            if kept_mask.any():
+                kept_src = msg_src[kept_mask]
+                machine.advance_many(
+                    batch_members[kept_src],
+                    [spec.local_move_time(int(m)) for m in msg_len[kept_mask]],
+                )
+
+            net = ~kept_mask
+            words_sent = np.zeros(q, dtype=np.int64)
+            words_received = np.zeros(q, dtype=np.int64)
+            np.add.at(words_sent, msg_src[net], msg_len[net])
+            np.add.at(words_received, msg_dest[net], msg_len[net])
+            messages_sent = np.bincount(msg_src[net], minlength=q).astype(np.int64)
+            messages_received = np.bincount(msg_dest[net], minlength=q).astype(np.int64)
+            if net.any():
+                machine.counters.record_messages(
+                    batch_members[msg_src[net]],
+                    batch_members[msg_dest[net]],
+                    msg_len[net],
+                )
+            if config.exchange_schedule == "dense":
+                messages_sent = np.repeat(sizes_m - 1, sizes_m)
+                messages_received = messages_sent.copy()
+            islands.charge_exchange(
+                words_sent, words_received, messages_sent, messages_received
+            )
+
+            order2 = stable_two_key_argsort(msg_dest, msg_src, q, q)
+            recv_values = piece_values[
+                concat_ranges(msg_start[order2], msg_len[order2])
+            ]
+            recv_sizes = np.zeros(q, dtype=np.int64)
+            np.add.at(recv_sizes, msg_dest, msg_len)
+            received_b = DistArray.from_sizes(recv_values, recv_sizes)
+
+        # --------------------------------------------------------------
+        # 5. Base cases: one segmented sort for all singleton groups
+        # --------------------------------------------------------------
+        with comm.phase(PHASE_LOCAL_SORT):
+            out_b = received_b.sort_segments()
+            machine.advance_many(
+                batch_members, [spec.local_sort_time(int(m)) for m in recv_sizes]
+            )
+
+    if single_idx.size:
+        with comm.phase(PHASE_LOCAL_SORT):
+            single_dist = DistArray.from_list([
+                received.segment(int(rank_offsets_all[g])) for g in single_idx
+            ])
+            sorted_singles = single_dist.sort_segments()
+            single_members = comm.members[rank_offsets_all[single_idx]]
+            machine.advance_many(
+                single_members,
+                [spec.local_sort_time(int(m)) for m in single_dist.sizes()],
+            )
+
+    if single_idx.size == 0:
+        assert out_b is not None
+        return out_b
+
+    # Interleave multi-island and singleton outputs back into group order.
+    parts: List[DistArray] = []
+    multi_pos = {int(g): i for i, g in enumerate(multi_idx)}
+    single_pos = {int(g): i for i, g in enumerate(single_idx)}
+    for g in range(num_islands):
+        if g in multi_pos:
+            i = multi_pos[g]
+            base = int(np.sum(isl_sizes_all[multi_idx[:i]]))
+            parts.append(out_b.slice_segments(base, base + int(isl_sizes_all[g])))
+        else:
+            i = single_pos[g]
+            parts.append(sorted_singles.slice_segments(i, i + 1))
+    return DistArray.concatenate(parts)
+
+
+def _ams_sort_flat(
+    comm,
+    dist: DistArray,
+    config: AMSConfig,
+    level: int = 0,
+    _plan: Optional[List[int]] = None,
+    _n_total: Optional[int] = None,
+) -> DistArray:
+    """One level of AMS-sort on the flat engine (whole-machine vectorised).
+
+    The four phases become: per-PE sampling via segment-aware gather, one
+    ``searchsorted`` + one ``bincount`` over combined ``(PE, bucket)`` keys
+    for the global bucket sizes, one stable argsort on ``(PE, group)`` keys
+    for the group routing, and offset-arithmetic message assembly in
+    :func:`deliver_to_groups_flat`.  All modelled charges are issued in the
+    same order and with the same arguments as the per-PE reference.
+    """
+    p = comm.size
+
+    # ------------------------------------------------------------------
+    # Base case: a single PE sorts locally.
+    # ------------------------------------------------------------------
+    if p == 1:
+        with comm.phase(PHASE_LOCAL_SORT):
+            out = np.sort(dist.values, kind="stable")
+            comm.charge_sort([out.size])
+        return DistArray(out, dist.offsets - dist.offsets[0])
+
+    if _plan is None:
+        _plan = config.plan_for(p)
+    if _n_total is None:
+        _n_total = dist.total
+
+    if level < len(_plan):
+        r = min(int(_plan[level]), p)
+    else:
+        r = p
+    r = max(2, min(r, p)) if p > 1 else 1
+
+    sampling = config.sampling_for(max(_n_total, 2))
+    num_splitters = sampling.num_splitters(r)
+    sizes = dist.sizes()
+
+    # ------------------------------------------------------------------
+    # 1. Splitter selection
+    # ------------------------------------------------------------------
+    with comm.phase(PHASE_SPLITTER_SELECTION):
+        per_pe = sampling.samples_per_pe(p, r)
+        samples = draw_samples_flat(dist, per_pe, [comm.pe_rng(i) for i in range(p)])
+    if config.use_fast_sample_sort:
+        splitters = select_splitters_by_rank_flat(
+            comm, samples, num_splitters, phase=PHASE_SPLITTER_SELECTION
+        )
+    else:
+        splitters = _centralized_splitters(comm, samples.to_list(), num_splitters)
+
+    # ------------------------------------------------------------------
+    # 2. Bucket processing: partition, global bucket sizes, bucket grouping
+    # ------------------------------------------------------------------
+    with comm.phase(PHASE_BUCKET_PROCESSING):
+        seg = dist.segment_ids()
+        if splitters.size == 0:
+            bucket_of = np.zeros(dist.total, dtype=np.int64)
+            nb = 1
+            global_bucket_sizes = np.array([dist.total], dtype=np.int64)
+        else:
+            bucket_of = bucket_indices(dist.values, splitters)
+            nb = int(splitters.size) + 1
+            global_bucket_sizes = np.bincount(bucket_of, minlength=nb).astype(
+                np.int64, copy=False
+            )
+        comm.charge_allreduce_vec(nb)
+        grouping = optimal_bucket_grouping(global_bucket_sizes, r, method="accelerated")
+        # The parallel bound search of Appendix C costs O(br + alpha log p);
+        # charge one extra small collective per search round.
+        comm.allreduce_scalar([float(grouping.bound)] * p, op=np.max)
+        group_of = bucket_to_group(grouping.boundaries, bucket_of)
+        key = seg * r + group_of
+        order = stable_two_key_argsort(seg, group_of, p, r)
+        piece_values = dist.values[order]
+        piece_sizes = np.bincount(key, minlength=p * r).reshape(p, r).astype(
+            np.int64, copy=False
+        )
+        comm.charge_partition(sizes, max(2, nb))
+
+    # ------------------------------------------------------------------
+    # 3. Data delivery
+    # ------------------------------------------------------------------
+    groups = comm.split(r)
+    delivery = deliver_to_groups_flat(
+        comm,
+        groups,
+        piece_values,
+        piece_sizes,
+        method=config.delivery,
+        seed=comm.machine.seed + level + 1,
+        phase=PHASE_DATA_DELIVERY,
+        schedule=config.exchange_schedule,
+    )
+
+    # ------------------------------------------------------------------
+    # 4. Recursion within each group
+    # ------------------------------------------------------------------
+    if r == p:
+        # Every group is a single PE: the p recursive base cases collapse
+        # into one segmented sort.  Each base case would charge its PE's
+        # local-sort time independently, so one vectorised charge of the
+        # same per-PE values is bit-identical.
+        with comm.phase(PHASE_LOCAL_SORT):
+            out = delivery.received.sort_segments()
+            comm.charge_sort(delivery.received_sizes)
+        return out
+    if (
+        config.use_fast_sample_sort
+        and config.delivery != "advanced"
+        and all(
+            g.size == 1
+            or (
+                _next_level_r(_plan, level + 1, g.size) == g.size
+                and grid_shape(g.size).size == g.size
+            )
+            for g in groups
+        )
+    ):
+        # Every sub-group runs its *final* level next (r == p, full sample
+        # grid): execute all of them in lockstep instead of recursing.
+        return _ams_sort_last_level_batched(
+            comm, groups, delivery.received, config, level + 1, _n_total
+        )
+    parts: List[DistArray] = []
+    start_rank = 0
+    for group in groups:
+        sub = delivery.received.slice_segments(start_rank, start_rank + group.size)
+        parts.append(
+            _ams_sort_flat(
+                group, sub, config, level=level + 1, _plan=_plan, _n_total=_n_total
+            )
+        )
+        start_rank += group.size
+    return DistArray.concatenate(parts)
+
+
+def ams_sort(
+    comm,
+    local_data: Union[DistArray, Sequence[np.ndarray]],
+    config: Optional[AMSConfig] = None,
+    level: int = 0,
+    _plan: Optional[List[int]] = None,
+    _n_total: Optional[int] = None,
+) -> Union[DistArray, List[np.ndarray]]:
+    """Sort a distributed array with AMS-sort (flat engine).
+
+    Parameters
+    ----------
+    comm:
+        Communicator over the PEs holding the data.
+    local_data:
+        The distributed input: either a :class:`~repro.dist.array.DistArray`
+        or the classic per-PE list (one array per member PE), which is
+        converted with the cheap ``DistArray.from_list`` / ``to_list``
+        round-trip at this boundary.
+    config:
+        :class:`AMSConfig`; defaults to two levels with the paper's sampling
+        parameters.
+    level:
+        Internal recursion level (leave at 0).
+
+    Returns
+    -------
+    DistArray or list of numpy.ndarray
+        The sorted output in the same representation as the input.
+    """
+    if config is None:
+        config = AMSConfig()
+    if isinstance(local_data, DistArray):
+        if local_data.p != comm.size:
+            raise ValueError("need one local segment per member PE")
+        return _ams_sort_flat(
+            comm, local_data, config, level=level, _plan=_plan, _n_total=_n_total
+        )
+    if len(local_data) != comm.size:
+        raise ValueError("need one local array per member PE")
+    dist = DistArray.from_list([np.asarray(d) for d in local_data])
+    out = _ams_sort_flat(
+        comm, dist, config, level=level, _plan=_plan, _n_total=_n_total
+    )
+    return out.to_list()

@@ -19,13 +19,15 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.blocks.delivery import deliver_to_groups
-from repro.blocks.multiselect import multisequence_select
+from repro.blocks.delivery import deliver_to_groups, deliver_to_groups_flat
+from repro.blocks.multiselect import multisequence_select, multisequence_select_flat
 from repro.blocks.sampling import draw_local_sample, splitter_ranks
+from repro.dist.array import DistArray
+from repro.dist.flatops import stable_key_argsort, stable_two_key_argsort
 from repro.machine.counters import (
     PHASE_BUCKET_PROCESSING,
     PHASE_DATA_DELIVERY,
@@ -36,24 +38,13 @@ from repro.seq.merge import merge_runs_numpy
 from repro.seq.partition import bucket_indices
 
 
-def single_level_sample_sort(
+def single_level_sample_sort_reference(
     comm,
     local_data: Sequence[np.ndarray],
     oversampling: int = 16,
     schedule: str = "dense",
 ) -> List[np.ndarray]:
-    """Classic single-level sample sort with centralized splitter selection.
-
-    Parameters
-    ----------
-    oversampling:
-        Number of samples per PE; the root picks ``p - 1`` equidistant
-        splitters from the gathered, sorted sample.
-    schedule:
-        ``'dense'`` models a plain ``MPI_Alltoallv`` (``p - 1`` startups per
-        PE) which is the behaviour the paper attributes to single-level
-        algorithms; ``'sparse'`` skips empty messages.
-    """
+    """Per-PE reference implementation of the classic sample sort."""
     p = comm.size
     if len(local_data) != p:
         raise ValueError("need one local array per member PE")
@@ -109,18 +100,13 @@ def single_level_sample_sort(
     return output
 
 
-def single_level_mergesort(
+def single_level_mergesort_reference(
     comm,
     local_data: Sequence[np.ndarray],
     merge_received: bool = True,
     schedule: str = "dense",
 ) -> List[np.ndarray]:
-    """Single-level multiway mergesort (perfect splitting, MP-sort style).
-
-    ``merge_received=False`` re-sorts the received data from scratch instead
-    of merging the received runs — this mimics MP-sort, which "implements
-    local multiway merging by sorting from scratch" (Section 7.3).
-    """
+    """Per-PE reference implementation of single-level multiway mergesort."""
     p = comm.size
     if len(local_data) != p:
         raise ValueError("need one local array per member PE")
@@ -171,20 +157,14 @@ def single_level_mergesort(
     return output
 
 
-def parallel_quicksort(
+def parallel_quicksort_reference(
     comm,
     local_data: Sequence[np.ndarray],
     oversampling: int = 16,
     _presorted: bool = False,
     seed_offset: int = 0,
 ) -> List[np.ndarray]:
-    """Recursive parallel quicksort: split the PEs in two around a pivot.
-
-    Every element is moved ``Theta(log p)`` times, which is exactly the
-    "prohibitive communication volume" regime the introduction of the paper
-    describes for parallelised classic algorithms.  Output balance is only
-    approximate because the pivot splits the data, not the PE count.
-    """
+    """Per-PE reference implementation of recursive parallel quicksort."""
     p = comm.size
     if len(local_data) != p:
         raise ValueError("need one local array per member PE")
@@ -229,9 +209,262 @@ def parallel_quicksort(
     for g, group in enumerate(groups):
         offset = comm.local_rank_of(int(group.members[0]))
         group_local = [delivery.received_concat(offset + j) for j in range(group.size)]
-        sorted_group = parallel_quicksort(
+        sorted_group = parallel_quicksort_reference(
             group, group_local, oversampling=oversampling, seed_offset=seed_offset + 1
         )
         for j in range(group.size):
             output[offset + j] = sorted_group[j]
     return output
+
+
+# ======================================================================
+# Flat (DistArray) engine ports
+# ======================================================================
+
+def _single_level_sample_sort_flat(
+    comm,
+    dist: DistArray,
+    oversampling: int = 16,
+    schedule: str = "dense",
+) -> DistArray:
+    """Flat-engine port of the classic single-level sample sort."""
+    p = comm.size
+    if p == 1:
+        with comm.phase(PHASE_LOCAL_SORT):
+            out = np.sort(dist.values, kind="stable")
+            comm.charge_sort([out.size])
+        return DistArray(out, dist.offsets.copy())
+    sizes = dist.sizes()
+
+    # --- centralized splitter selection (small sample, per-PE RNG) ------
+    with comm.phase(PHASE_SPLITTER_SELECTION):
+        samples = [
+            draw_local_sample(dist.segment(i), oversampling, comm.pe_rng(i))
+            for i in range(p)
+        ]
+        gathered = comm.gather(samples, root=0, words_each=oversampling)
+        pieces = [np.asarray(s) for s in gathered if np.asarray(s).size > 0]
+        sample = np.sort(np.concatenate(pieces), kind="stable") if pieces else np.empty(0)
+        comm.charge_local(0, comm.spec.local_sort_time(int(sample.size)))
+        if sample.size == 0:
+            splitters = sample[:0]
+        else:
+            ranks = splitter_ranks(int(sample.size), p - 1)
+            splitters = sample[ranks]
+        comm.bcast(splitters, root=0, words=int(splitters.size))
+
+    # --- partition into p buckets (one argsort over (PE, bucket) keys) --
+    with comm.phase(PHASE_BUCKET_PROCESSING):
+        seg = dist.segment_ids()
+        if splitters.size == 0:
+            dest = np.zeros(dist.total, dtype=np.int64)
+        else:
+            dest = bucket_indices(dist.values, splitters)
+        key = seg * p + dest
+        order = stable_two_key_argsort(seg, dest, p, p)
+        piece_values = dist.values[order]
+        piece_sizes = np.bincount(key, minlength=p * p).reshape(p, p).astype(
+            np.int64, copy=False
+        )
+        comm.charge_partition(sizes, p)
+
+    # --- direct all-to-all exchange ------------------------------------
+    groups = comm.split(p)  # every PE is its own group
+    delivery = deliver_to_groups_flat(
+        comm, groups, piece_values, piece_sizes, method="naive",
+        phase=PHASE_DATA_DELIVERY, schedule=schedule,
+    )
+
+    # --- final local sort ------------------------------------------------
+    with comm.phase(PHASE_LOCAL_SORT):
+        output = delivery.received.sort_segments()
+        comm.charge_sort(delivery.received_sizes)
+    return output
+
+
+def _single_level_mergesort_flat(
+    comm,
+    dist: DistArray,
+    merge_received: bool = True,
+    schedule: str = "dense",
+) -> DistArray:
+    """Flat-engine port of single-level multiway mergesort (MP-sort style)."""
+    p = comm.size
+
+    with comm.phase(PHASE_LOCAL_SORT):
+        local_sorted = dist.sort_segments()
+        comm.charge_sort(dist.sizes())
+
+    if p == 1:
+        return local_sorted
+
+    n_total = local_sorted.total
+    sizes = local_sorted.sizes()
+
+    with comm.phase(PHASE_SPLITTER_SELECTION):
+        ranks = [(g * n_total) // p for g in range(1, p)]
+        selection = multisequence_select_flat(comm, local_sorted, ranks)
+
+    bounds = np.vstack([
+        np.zeros((1, p), dtype=np.int64), selection.splits, sizes[None, :],
+    ])
+    piece_sizes = np.diff(bounds, axis=0).T.astype(np.int64)
+
+    groups = comm.split(p)
+    delivery = deliver_to_groups_flat(
+        comm, groups, local_sorted.values, piece_sizes, method="naive",
+        phase=PHASE_DATA_DELIVERY, schedule=schedule,
+    )
+
+    with comm.phase(PHASE_BUCKET_PROCESSING):
+        # Merging the received sorted runs in source order equals a stable
+        # segmented sort of the received buffer; only the charge differs
+        # between merging (MP-sort merges) and re-sorting from scratch.
+        output = delivery.received.sort_segments()
+        if merge_received:
+            ways = np.maximum(2, delivery.nonempty_runs_per_pe())
+            comm.charge_merge(delivery.received_sizes, ways)
+        else:
+            comm.charge_sort(delivery.received_sizes)
+    return output
+
+
+def _parallel_quicksort_flat(
+    comm,
+    dist: DistArray,
+    oversampling: int = 16,
+    seed_offset: int = 0,
+) -> DistArray:
+    """Flat-engine port of recursive parallel quicksort."""
+    p = comm.size
+
+    if p == 1:
+        with comm.phase(PHASE_LOCAL_SORT):
+            out = np.sort(dist.values, kind="stable")
+            comm.charge_sort([out.size])
+        return DistArray(out, dist.offsets - dist.offsets[0])
+    sizes = dist.sizes()
+
+    # --- pivot selection from a small sample ---------------------------
+    with comm.phase(PHASE_SPLITTER_SELECTION):
+        samples = [
+            draw_local_sample(dist.segment(i), oversampling, comm.pe_rng(i))
+            for i in range(p)
+        ]
+        gathered = comm.allgather_arrays(samples, merge_sorted=True)
+        if gathered.size == 0:
+            pivot = None
+        else:
+            pivot = gathered[gathered.size // 2]
+
+    # --- partition into two pieces and deliver to two halves -----------
+    with comm.phase(PHASE_BUCKET_PROCESSING):
+        seg = dist.segment_ids()
+        if pivot is None:
+            side = np.zeros(dist.total, dtype=np.int64)
+        else:
+            side = (dist.values > pivot).astype(np.int64)
+        key = seg * 2 + side
+        order = stable_key_argsort(key, p * 2)
+        piece_values = dist.values[order]
+        piece_sizes = np.bincount(key, minlength=p * 2).reshape(p, 2).astype(
+            np.int64, copy=False
+        )
+        comm.charge_partition(sizes, 2)
+
+    groups = comm.split(2)
+    delivery = deliver_to_groups_flat(
+        comm, groups, piece_values, piece_sizes, method="naive",
+        phase=PHASE_DATA_DELIVERY, seed=seed_offset,
+    )
+
+    parts: List[DistArray] = []
+    start_rank = 0
+    for group in groups:
+        sub = delivery.received.slice_segments(start_rank, start_rank + group.size)
+        parts.append(
+            _parallel_quicksort_flat(
+                group, sub, oversampling=oversampling, seed_offset=seed_offset + 1
+            )
+        )
+        start_rank += group.size
+    return DistArray.concatenate(parts)
+
+
+def _dispatch(flat_func, comm, local_data, **kwargs):
+    """Run a flat baseline, converting list inputs at the boundary."""
+    if isinstance(local_data, DistArray):
+        if local_data.p != comm.size:
+            raise ValueError("need one local segment per member PE")
+        return flat_func(comm, local_data, **kwargs)
+    if len(local_data) != comm.size:
+        raise ValueError("need one local array per member PE")
+    dist = DistArray.from_list([np.asarray(d) for d in local_data])
+    return flat_func(comm, dist, **kwargs).to_list()
+
+
+def single_level_sample_sort(
+    comm,
+    local_data: "Union[DistArray, Sequence[np.ndarray]]",
+    oversampling: int = 16,
+    schedule: str = "dense",
+) -> "Union[DistArray, List[np.ndarray]]":
+    """Classic single-level sample sort with centralized splitter selection.
+
+    Runs on the flat engine; accepts a :class:`DistArray` or the classic
+    per-PE list (converted at this boundary).
+
+    Parameters
+    ----------
+    oversampling:
+        Number of samples per PE; the root picks ``p - 1`` equidistant
+        splitters from the gathered, sorted sample.
+    schedule:
+        ``'dense'`` models a plain ``MPI_Alltoallv`` (``p - 1`` startups per
+        PE) which is the behaviour the paper attributes to single-level
+        algorithms; ``'sparse'`` skips empty messages.
+    """
+    return _dispatch(
+        _single_level_sample_sort_flat, comm, local_data,
+        oversampling=oversampling, schedule=schedule,
+    )
+
+
+def single_level_mergesort(
+    comm,
+    local_data: "Union[DistArray, Sequence[np.ndarray]]",
+    merge_received: bool = True,
+    schedule: str = "dense",
+) -> "Union[DistArray, List[np.ndarray]]":
+    """Single-level multiway mergesort (perfect splitting, MP-sort style).
+
+    Runs on the flat engine; accepts a :class:`DistArray` or the classic
+    per-PE list.  ``merge_received=False`` re-sorts the received data from
+    scratch instead of merging the received runs — this mimics MP-sort,
+    which "implements local multiway merging by sorting from scratch"
+    (Section 7.3).
+    """
+    return _dispatch(
+        _single_level_mergesort_flat, comm, local_data,
+        merge_received=merge_received, schedule=schedule,
+    )
+
+
+def parallel_quicksort(
+    comm,
+    local_data: "Union[DistArray, Sequence[np.ndarray]]",
+    oversampling: int = 16,
+    _presorted: bool = False,
+    seed_offset: int = 0,
+) -> "Union[DistArray, List[np.ndarray]]":
+    """Recursive parallel quicksort: split the PEs in two around a pivot.
+
+    Runs on the flat engine; accepts a :class:`DistArray` or the classic
+    per-PE list.  Every element is moved ``Theta(log p)`` times, which is
+    exactly the "prohibitive communication volume" regime the introduction
+    of the paper describes for parallelised classic algorithms.
+    """
+    return _dispatch(
+        _parallel_quicksort_flat, comm, local_data,
+        oversampling=oversampling, seed_offset=seed_offset,
+    )

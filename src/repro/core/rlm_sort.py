@@ -23,13 +23,14 @@ slowdown experiment (Figure 7) makes visible.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.blocks.delivery import deliver_to_groups
-from repro.blocks.multiselect import multisequence_select
+from repro.blocks.delivery import deliver_to_groups, deliver_to_groups_flat
+from repro.blocks.multiselect import multisequence_select, multisequence_select_flat
 from repro.core.config import RLMConfig
+from repro.dist.array import DistArray
 from repro.machine.counters import (
     PHASE_BUCKET_PROCESSING,
     PHASE_DATA_DELIVERY,
@@ -39,7 +40,7 @@ from repro.machine.counters import (
 from repro.seq.merge import merge_runs_numpy
 
 
-def rlm_sort(
+def rlm_sort_reference(
     comm,
     local_data: Sequence[np.ndarray],
     config: Optional[RLMConfig] = None,
@@ -47,26 +48,10 @@ def rlm_sort(
     _plan: Optional[List[int]] = None,
     _presorted: bool = False,
 ) -> List[np.ndarray]:
-    """Sort a distributed array with RLM-sort.
+    """Per-PE reference implementation of RLM-sort (the seed engine).
 
-    Parameters
-    ----------
-    comm:
-        Communicator over the PEs holding the data.
-    local_data:
-        One array per member PE.
-    config:
-        :class:`RLMConfig`; defaults to two levels.
-    level:
-        Internal recursion level (leave at 0).
-    _presorted:
-        Internal flag: the local arrays are already sorted (deeper levels).
-
-    Returns
-    -------
-    list of numpy.ndarray
-        The sorted output, one array per member PE.  The output is perfectly
-        balanced: every PE holds ``floor(n/p)`` or ``ceil(n/p)`` elements.
+    Semantically identical to :func:`rlm_sort`; kept as the executable
+    specification the flat engine is verified against.
     """
     if config is None:
         config = RLMConfig()
@@ -152,7 +137,7 @@ def rlm_sort(
     for g, group in enumerate(groups):
         offset = comm.local_rank_of(int(group.members[0]))
         group_local = [merged[offset + j] for j in range(group.size)]
-        sorted_group = rlm_sort(
+        sorted_group = rlm_sort_reference(
             group,
             group_local,
             config=config,
@@ -163,3 +148,154 @@ def rlm_sort(
         for j in range(group.size):
             output[offset + j] = sorted_group[j]
     return output
+
+
+def _rlm_sort_flat(
+    comm,
+    dist: DistArray,
+    config: RLMConfig,
+    level: int = 0,
+    _plan: Optional[List[int]] = None,
+    _presorted: bool = False,
+) -> DistArray:
+    """One level of RLM-sort on the flat engine (whole-machine vectorised).
+
+    Local sorting and the post-delivery multiway merge both become a single
+    segmented stable sort of the flat buffer; the exact splitting runs on
+    the flat multisequence selection, and the resulting pieces are already
+    contiguous slices of the sorted buffer, so piece extraction is pure
+    offset arithmetic.  All modelled charges match the per-PE reference.
+    """
+    p = comm.size
+
+    # ------------------------------------------------------------------
+    # Local sorting (first level only)
+    # ------------------------------------------------------------------
+    if not _presorted:
+        with comm.phase(PHASE_LOCAL_SORT):
+            local_sorted = dist.sort_segments()
+            comm.charge_sort(dist.sizes())
+    else:
+        local_sorted = dist
+
+    if p == 1:
+        return local_sorted.copy() if _presorted else local_sorted
+
+    if _plan is None:
+        _plan = config.plan_for(p)
+    if level < len(_plan):
+        r = min(int(_plan[level]), p)
+    else:
+        r = p
+    r = max(2, min(r, p))
+
+    n_total = local_sorted.total
+    sizes = local_sorted.sizes()
+    groups = comm.split(r)
+
+    # ------------------------------------------------------------------
+    # Splitter selection: exact multisequence selection
+    # ------------------------------------------------------------------
+    with comm.phase(PHASE_SPLITTER_SELECTION):
+        cumulative_pes = np.cumsum([g.size for g in groups])
+        ranks = [int((n_total * int(c)) // p) for c in cumulative_pes[:-1]]
+        selection = multisequence_select_flat(comm, local_sorted, ranks)
+
+    # ------------------------------------------------------------------
+    # Pieces: consecutive slices of the sorted segments (offset arithmetic)
+    # ------------------------------------------------------------------
+    bounds = np.vstack([
+        np.zeros((1, p), dtype=np.int64),
+        selection.splits,
+        sizes[None, :],
+    ])
+    piece_sizes = np.diff(bounds, axis=0).T.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Data delivery
+    # ------------------------------------------------------------------
+    delivery = deliver_to_groups_flat(
+        comm,
+        groups,
+        local_sorted.values,
+        piece_sizes,
+        method=config.delivery,
+        seed=comm.machine.seed + level + 1,
+        phase=PHASE_DATA_DELIVERY,
+        schedule=config.exchange_schedule,
+    )
+
+    # ------------------------------------------------------------------
+    # Bucket processing: merge the received sorted runs on every PE
+    # ------------------------------------------------------------------
+    with comm.phase(PHASE_BUCKET_PROCESSING):
+        merged = delivery.received.sort_segments()
+        ways = np.maximum(2, delivery.nonempty_runs_per_pe())
+        comm.charge_merge(delivery.received_sizes, ways)
+
+    # ------------------------------------------------------------------
+    # Recursion within each group (data already locally sorted)
+    # ------------------------------------------------------------------
+    if r == p:
+        # Every group is a single already-sorted PE: the recursion would
+        # only copy each segment, so the level is done.
+        return merged
+    parts: List[DistArray] = []
+    start_rank = 0
+    for group in groups:
+        sub = merged.slice_segments(start_rank, start_rank + group.size)
+        parts.append(
+            _rlm_sort_flat(
+                group, sub, config, level=level + 1, _plan=_plan, _presorted=True
+            )
+        )
+        start_rank += group.size
+    return DistArray.concatenate(parts)
+
+
+def rlm_sort(
+    comm,
+    local_data: Union[DistArray, Sequence[np.ndarray]],
+    config: Optional[RLMConfig] = None,
+    level: int = 0,
+    _plan: Optional[List[int]] = None,
+    _presorted: bool = False,
+) -> Union[DistArray, List[np.ndarray]]:
+    """Sort a distributed array with RLM-sort (flat engine).
+
+    Parameters
+    ----------
+    comm:
+        Communicator over the PEs holding the data.
+    local_data:
+        The distributed input: a :class:`~repro.dist.array.DistArray` or the
+        classic per-PE list (converted at this boundary).
+    config:
+        :class:`RLMConfig`; defaults to two levels.
+    level:
+        Internal recursion level (leave at 0).
+    _presorted:
+        Internal flag: the local segments are already sorted.
+
+    Returns
+    -------
+    DistArray or list of numpy.ndarray
+        The sorted output in the same representation as the input.  The
+        output is perfectly balanced: every PE holds ``floor(n/p)`` or
+        ``ceil(n/p)`` elements.
+    """
+    if config is None:
+        config = RLMConfig()
+    if isinstance(local_data, DistArray):
+        if local_data.p != comm.size:
+            raise ValueError("need one local segment per member PE")
+        return _rlm_sort_flat(
+            comm, local_data, config, level=level, _plan=_plan, _presorted=_presorted
+        )
+    if len(local_data) != comm.size:
+        raise ValueError("need one local array per member PE")
+    dist = DistArray.from_list([np.asarray(d) for d in local_data])
+    out = _rlm_sort_flat(
+        comm, dist, config, level=level, _plan=_plan, _presorted=_presorted
+    )
+    return out.to_list()

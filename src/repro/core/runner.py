@@ -11,15 +11,19 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.ams_sort import ams_sort
+from repro.core.ams_sort import ams_sort, ams_sort_reference
 from repro.core.baselines import (
     parallel_quicksort,
+    parallel_quicksort_reference,
     single_level_mergesort,
+    single_level_mergesort_reference,
     single_level_sample_sort,
+    single_level_sample_sort_reference,
 )
 from repro.core.config import AMSConfig, RLMConfig
-from repro.core.rlm_sort import rlm_sort
+from repro.core.rlm_sort import rlm_sort, rlm_sort_reference
 from repro.core.validation import output_imbalance, validate_output
+from repro.dist.array import DistArray
 from repro.machine.counters import PAPER_PHASES
 from repro.machine.spec import MachineSpec
 from repro.sim.machine import SimulatedMachine
@@ -27,6 +31,10 @@ from repro.sim.machine import SimulatedMachine
 
 #: Registry of algorithm names accepted by :func:`run_on_machine`.
 ALGORITHMS = ("ams", "rlm", "samplesort", "mergesort", "quicksort")
+
+#: Execution engines: the vectorised flat `DistArray` engine (default) and
+#: the per-PE reference implementation it is verified against.
+ENGINES = ("flat", "reference")
 
 
 @dataclass
@@ -93,18 +101,21 @@ class SortResult:
         return row
 
 
-def _resolve_algorithm(name: str) -> Callable:
+def _resolve_algorithm(name: str, engine: str = "flat") -> Callable:
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
+    flat = engine == "flat"
     name = name.lower()
     if name in ("ams", "ams-sort", "amssort"):
-        return ams_sort
+        return ams_sort if flat else ams_sort_reference
     if name in ("rlm", "rlm-sort", "rlmsort"):
-        return rlm_sort
+        return rlm_sort if flat else rlm_sort_reference
     if name in ("samplesort", "sample-sort", "single-level-sample-sort"):
-        return single_level_sample_sort
+        return single_level_sample_sort if flat else single_level_sample_sort_reference
     if name in ("mergesort", "merge-sort", "mp-sort", "single-level-mergesort"):
-        return single_level_mergesort
+        return single_level_mergesort if flat else single_level_mergesort_reference
     if name in ("quicksort", "quick-sort", "parallel-quicksort"):
-        return parallel_quicksort
+        return parallel_quicksort if flat else parallel_quicksort_reference
     raise ValueError(f"unknown algorithm {name!r}; known: {ALGORITHMS}")
 
 
@@ -119,11 +130,12 @@ def distribute_array(data: np.ndarray, p: int) -> List[np.ndarray]:
 
 def run_on_machine(
     machine: SimulatedMachine,
-    local_data: Sequence[np.ndarray],
+    local_data: "DistArray | Sequence[np.ndarray]",
     algorithm: str = "ams",
     config: Optional[object] = None,
     validate: bool = True,
     max_imbalance: Optional[float] = None,
+    engine: str = "flat",
     **kwargs: object,
 ) -> SortResult:
     """Run a distributed sorting algorithm on an existing machine.
@@ -133,7 +145,8 @@ def run_on_machine(
     machine:
         The simulated machine (its clocks/counters are reset first).
     local_data:
-        One input array per PE.
+        The distributed input: a :class:`~repro.dist.array.DistArray` or one
+        input array per PE (converted at this boundary).
     algorithm:
         One of :data:`ALGORITHMS`.
     config:
@@ -143,6 +156,10 @@ def run_on_machine(
         Verify the output is a globally sorted permutation of the input.
     max_imbalance:
         Optional bound on the accepted output imbalance (validation only).
+    engine:
+        ``'flat'`` (default) runs the vectorised :class:`DistArray` engine;
+        ``'reference'`` runs the per-PE seed implementation.  Both produce
+        byte-identical outputs, clocks and phase breakdowns.
     kwargs:
         Extra keyword arguments forwarded to the algorithm function
         (baselines take e.g. ``oversampling`` or ``schedule``).
@@ -151,20 +168,28 @@ def run_on_machine(
         raise ValueError("need one input array per PE")
     machine.reset()
     comm = machine.world()
-    func = _resolve_algorithm(algorithm)
+    func = _resolve_algorithm(algorithm, engine)
 
     call_kwargs: Dict[str, object] = dict(kwargs)
     if config is not None:
         call_kwargs["config"] = config
-    output = func(comm, list(local_data), **call_kwargs)
+    if isinstance(local_data, DistArray):
+        run_input = local_data if engine == "flat" else local_data.to_list()
+        input_list = local_data.to_list()
+    else:
+        run_input = list(local_data)
+        input_list = run_input
+    output = func(comm, run_input, **call_kwargs)
+    if isinstance(output, DistArray):
+        output = output.to_list()
 
     if validate:
-        validate_output(local_data, output, max_imbalance=max_imbalance)
+        validate_output(input_list, output, max_imbalance=max_imbalance)
 
     phase_times = {
         phase: machine.breakdown.max_time(phase) for phase in machine.breakdown.phases()
     }
-    n_total = int(sum(np.asarray(d).size for d in local_data))
+    n_total = int(sum(np.asarray(d).size for d in input_list))
     params: Dict[str, object] = {}
     if isinstance(config, AMSConfig):
         params["levels"] = config.levels

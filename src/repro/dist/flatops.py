@@ -1,0 +1,159 @@
+"""Vectorised kernels for the flat execution engine.
+
+These helpers are the numpy building blocks the :class:`~repro.dist.array.
+DistArray` engine is made of.  They contain no simulator state and no cost
+accounting — they are pure data transformations, shared by the flat ports of
+the exchange, delivery, partitioning and merging steps.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def segment_ids(offsets: np.ndarray) -> np.ndarray:
+    """Segment index of every element for a CSR ``offsets`` vector.
+
+    ``offsets`` has ``p + 1`` entries; the result has ``offsets[-1]``
+    entries, with value ``i`` repeated ``offsets[i+1] - offsets[i]`` times.
+    Computed as a cumulative sum of boundary markers, which is considerably
+    faster than ``np.repeat`` for large element counts.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    total = int(offsets[-1])
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    marks = np.zeros(total, dtype=np.int64)
+    interior = offsets[1:-1]
+    interior = interior[interior < total]
+    np.add.at(marks, interior, 1)
+    return np.cumsum(marks, out=marks)
+
+
+def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Index array gathering the ranges ``[starts[k], starts[k]+lengths[k])``.
+
+    The returned int64 array has ``lengths.sum()`` entries and enumerates all
+    ranges back to back, so ``buffer[concat_ranges(s, l)]`` concatenates the
+    ranges without any Python-level loop.  Zero-length ranges are skipped.
+    Built as one cumulative sum of per-position steps (step 1 inside a
+    range, a jump at every range boundary).
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if starts.shape != lengths.shape:
+        raise ValueError("starts and lengths must have the same shape")
+    nonzero = lengths > 0
+    if not nonzero.all():
+        starts = starts[nonzero]
+        lengths = lengths[nonzero]
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    step = np.ones(total, dtype=np.int64)
+    step[0] = starts[0]
+    if starts.size > 1:
+        bounds = np.cumsum(lengths[:-1])
+        step[bounds] = starts[1:] - starts[:-1] - lengths[:-1] + 1
+    return np.cumsum(step, out=step)
+
+
+def stable_key_argsort(key: np.ndarray, key_bound: int) -> np.ndarray:
+    """Stable argsort of non-negative integer keys smaller than ``key_bound``.
+
+    numpy's stable sort is a radix sort only for (u)int8/16 — an order of
+    magnitude faster than the comparison sort used for wider integers — so
+    the key is narrowed to ``uint16`` whenever the bound allows.  The
+    resulting permutation is identical either way.
+    """
+    key = np.asarray(key)
+    if 0 <= key_bound <= 2 ** 16:
+        key = key.astype(np.uint16, copy=False)
+    elif 0 <= key_bound < 2 ** 31:
+        key = key.astype(np.int32, copy=False)
+    return np.argsort(key, kind="stable")
+
+
+def stable_two_key_argsort(
+    major: np.ndarray, minor: np.ndarray, major_bound: int, minor_bound: int
+) -> np.ndarray:
+    """Stable argsort by ``(major, minor)`` pairs of small non-negative ints.
+
+    When the combined key range fits 16 bits a single radix argsort is used;
+    otherwise an LSD two-pass radix (stable sort by minor, then by major)
+    keeps both passes in the fast 16-bit path.  Identical to a stable
+    argsort of ``major * minor_bound + minor``.
+    """
+    if 0 <= major_bound * minor_bound <= 2 ** 16:
+        return stable_key_argsort(
+            major * minor_bound + minor, major_bound * minor_bound
+        )
+    if major_bound <= 2 ** 16 and minor_bound <= 2 ** 16:
+        order = np.argsort(minor.astype(np.uint16, copy=False), kind="stable")
+        order2 = np.argsort(
+            major.astype(np.uint16, copy=False)[order], kind="stable"
+        )
+        return order[order2]
+    return stable_key_argsort(major * minor_bound + minor, major_bound * minor_bound)
+
+
+def segmented_sort_values(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Stable-sort every segment of a CSR layout independently.
+
+    Byte-identical to ``np.sort(segment, kind="stable")`` applied per
+    segment.  For reasonably sized segments this is done with in-place
+    sorts of the segment slices (numpy's comparison sort on wide dtypes is
+    much faster than a whole-array ``lexsort``); very short segments fall
+    back to one stable argsort keyed by the segment id.
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        return values.copy()
+    p = int(offsets.size) - 1
+    if values.size >= 4 * p:
+        out = values.copy()
+        for i in range(p):
+            out[offsets[i]:offsets[i + 1]].sort(kind="stable")
+        return out
+    seg = segment_ids(offsets)
+    if p < 2 ** 31:
+        seg = seg.astype(np.int32, copy=False)
+    order = np.lexsort((values, seg))
+    return values[order]
+
+
+def split_intervals(
+    bounds: np.ndarray, cuts: np.ndarray, total: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split the position range ``[0, total)`` at piece bounds and cut points.
+
+    ``bounds`` are the *piece* boundaries (``len(pieces) + 1`` entries,
+    starting at 0 and ending at ``total``); ``cuts`` are additional cut
+    positions (e.g. destination-PE capacity boundaries).  The range is split
+    into maximal intervals that cross neither kind of boundary — exactly the
+    messages a prefix-sum data delivery produces when pieces are laid out
+    consecutively over destination slots.
+
+    Returns ``(piece_idx, start, length, interval_start)`` per interval, in
+    ascending position order: the index of the piece the interval belongs
+    to, the offset *within* that piece, the interval length, and the
+    absolute start position (used to derive the destination).
+    """
+    bounds = np.asarray(bounds, dtype=np.int64)
+    if total <= 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e, e.copy(), e.copy()
+    cuts = np.asarray(cuts, dtype=np.int64)
+    cuts = cuts[(cuts > 0) & (cuts < total)]
+    points = np.unique(np.concatenate([bounds, cuts, [0, total]]))
+    points = points[(points >= 0) & (points <= total)]
+    starts_abs = points[:-1]
+    lengths = np.diff(points)
+    keep = lengths > 0
+    starts_abs = starts_abs[keep]
+    lengths = lengths[keep]
+    piece_idx = np.searchsorted(bounds, starts_abs, side="right") - 1
+    start_in_piece = starts_abs - bounds[piece_idx]
+    return piece_idx, start_in_piece, lengths, starts_abs

@@ -66,6 +66,24 @@ class TrafficCounters:
         self.words_sent[src] += words
         self.words_received[dst] += words
 
+    def record_messages(
+        self, src: np.ndarray, dst: np.ndarray, words: np.ndarray
+    ) -> None:
+        """Record many point-to-point messages at once (vectorised).
+
+        Equivalent to calling :meth:`record_message` for every triple; the
+        counters are integers, so the accumulated state is identical.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        words = np.asarray(words, dtype=np.int64)
+        if np.any(words < 0):
+            raise ValueError("negative message size")
+        np.add.at(self.messages_sent, src, 1)
+        np.add.at(self.messages_received, dst, 1)
+        np.add.at(self.words_sent, src, words)
+        np.add.at(self.words_received, dst, words)
+
     def record_collective(self, pes: Iterable[int]) -> None:
         """Record participation of ``pes`` in one collective operation."""
         idx = np.asarray(list(pes), dtype=np.int64)

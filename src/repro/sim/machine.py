@@ -21,13 +21,40 @@ class SimulatedMachine:
     """A distributed-memory machine of ``p`` PEs with modelled time.
 
     The machine does not execute PEs concurrently.  Instead, algorithms are
-    written in a *whole-machine* (lockstep SPMD) style: local work is applied
-    to every PE's data in turn while the machine charges each PE's clock with
-    the modelled time of that work, and communication steps advance the
-    clocks by the modelled communication cost.  Because the algorithms in
-    the paper are bulk synchronous this reproduces the same critical path a
-    real message-passing execution would have, while remaining fully
+    written in a *whole-machine* (lockstep SPMD) style: every step is either
+    local work (charged to each PE's clock with the modelled time of that
+    work) or a communication step that advances the participating clocks by
+    the modelled communication cost.  Because the algorithms in the paper
+    are bulk synchronous this reproduces the same critical path a real
+    message-passing execution would have, while remaining fully
     deterministic and runnable on a laptop.
+
+    **Lockstep SPMD over flat arrays.**  Two execution engines drive this
+    machine.  The *reference* engine materialises the distributed array as
+    one numpy array per PE and loops ``for i in range(p)`` over local steps.
+    The *flat* engine (:mod:`repro.dist`) stores the whole machine's data in
+    a single :class:`~repro.dist.array.DistArray` (one contiguous ``values``
+    buffer plus a CSR ``offsets`` vector, one segment per PE) and replaces
+    the per-PE loops with whole-machine vectorised kernels: segmented sorts,
+    ``bincount`` over combined ``(PE, bucket)`` keys, stable reorders by
+    ``(PE, group)`` keys, and message batches assembled by offset
+    arithmetic.  Both engines issue the same per-PE charge sequence, so
+    clocks, phase breakdowns and traffic counters are byte-identical; only
+    the wall-clock time of running the *simulation* differs (the flat
+    engine scales to thousands of simulated PEs).
+
+    **What is and is not charged.**  The cost model charges (a) local work
+    through the calibrated per-element constants of
+    :class:`~repro.machine.spec.MachineSpec` (sorting, merging,
+    partitioning, copying, binary searches), (b) collectives through the
+    closed-form ``alpha * ceil(log2 P) + beta * l`` bound, and (c) irregular
+    exchanges through the ``Exch(P, h, r)`` bottleneck bound
+    ``alpha * r + beta * h`` (plus packing when requested).  Bookkeeping
+    that a real implementation keeps in registers or recomputes locally —
+    piece-size arithmetic, enumeration order, replicated RNG draws, the
+    simulator's own data movement — is *not* charged.  Synchronisation
+    (waiting) time is attributed to the phase that caused it, matching the
+    paper's per-phase barriers (Section 7.1).
 
     Parameters
     ----------

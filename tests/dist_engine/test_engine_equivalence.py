@@ -1,0 +1,250 @@
+"""Flat engine vs per-PE reference: byte-identical outputs, clocks, phases.
+
+The flat :class:`~repro.dist.array.DistArray` engine is a performance
+refactor, not a re-modelling: for every algorithm it must produce exactly
+the outputs, per-PE clocks, phase breakdowns and traffic counters of the
+seed per-PE implementation.  These tests enforce that contract on
+randomized ``(p, n, plan, seed)`` configurations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ams_sort import ams_sort, ams_sort_reference
+from repro.core.baselines import (
+    parallel_quicksort,
+    parallel_quicksort_reference,
+    single_level_mergesort,
+    single_level_mergesort_reference,
+    single_level_sample_sort,
+    single_level_sample_sort_reference,
+)
+from repro.core.config import AMSConfig, RLMConfig
+from repro.core.rlm_sort import rlm_sort, rlm_sort_reference
+from repro.core.runner import run_on_machine
+from repro.dist.array import DistArray
+from repro.machine.spec import laptop_like, supermuc_like
+from repro.sim.machine import SimulatedMachine
+
+COUNTER_FIELDS = (
+    "messages_sent",
+    "messages_received",
+    "words_sent",
+    "words_received",
+    "collective_ops",
+    "exchange_ops",
+)
+
+
+def random_data(p, max_n, seed, high=1000):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, high, size=rng.integers(0, max_n + 1)) for _ in range(p)
+    ]
+
+
+def assert_engines_identical(flat_fn, ref_fn, p, data, seed, spec=None, **kwargs):
+    """Run both engines on identical machines and compare all observables."""
+    spec = spec or laptop_like()
+    m_ref = SimulatedMachine(p, spec=spec, seed=seed)
+    out_ref = ref_fn(m_ref.world(), [d.copy() for d in data], **kwargs)
+    m_flat = SimulatedMachine(p, spec=spec, seed=seed)
+    out_flat = flat_fn(m_flat.world(), [d.copy() for d in data], **kwargs)
+
+    assert len(out_ref) == len(out_flat)
+    for i, (a, b) in enumerate(zip(out_ref, out_flat)):
+        assert np.array_equal(a, b), f"output of PE {i} differs"
+    assert np.array_equal(m_ref.clock, m_flat.clock), "clocks differ"
+    assert sorted(m_ref.breakdown.phases()) == sorted(m_flat.breakdown.phases())
+    for phase in m_ref.breakdown.phases():
+        assert np.array_equal(
+            m_ref.breakdown.per_pe(phase), m_flat.breakdown.per_pe(phase)
+        ), f"phase breakdown of {phase!r} differs"
+    for field in COUNTER_FIELDS:
+        assert np.array_equal(
+            getattr(m_ref.counters, field), getattr(m_flat.counters, field)
+        ), f"counter {field} differs"
+
+
+class TestAMSEquivalence:
+    @given(
+        st.integers(2, 24),
+        st.integers(0, 80),
+        st.integers(1, 3),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_randomized_configs(self, p, max_n, levels, seed):
+        data = random_data(p, max_n, seed)
+        config = AMSConfig(levels=levels, node_size=4)
+        assert_engines_identical(
+            ams_sort, ams_sort_reference, p, data, seed, config=config
+        )
+
+    @pytest.mark.parametrize("delivery", ["naive", "randomized", "deterministic", "advanced"])
+    def test_delivery_methods(self, delivery):
+        data = random_data(16, 200, 42)
+        config = AMSConfig(levels=2, node_size=4, delivery=delivery)
+        assert_engines_identical(
+            ams_sort, ams_sort_reference, 16, data, 42, config=config
+        )
+
+    def test_centralized_splitters(self):
+        data = random_data(12, 150, 7)
+        config = AMSConfig(levels=2, node_size=4, use_fast_sample_sort=False)
+        assert_engines_identical(
+            ams_sort, ams_sort_reference, 12, data, 7, config=config
+        )
+
+    def test_dense_schedule(self):
+        data = random_data(8, 120, 5)
+        config = AMSConfig(levels=2, node_size=4, exchange_schedule="dense")
+        assert_engines_identical(
+            ams_sort, ams_sort_reference, 8, data, 5, config=config
+        )
+
+    def test_supermuc_spec_node_plan(self):
+        data = random_data(64, 60, 3)
+        assert_engines_identical(
+            ams_sort, ams_sort_reference, 64, data, 3,
+            spec=supermuc_like(), config=AMSConfig(levels=2),
+        )
+
+    def test_empty_input(self):
+        data = [np.empty(0, dtype=np.int64) for _ in range(6)]
+        assert_engines_identical(
+            ams_sort, ams_sort_reference, 6, data, 1,
+            config=AMSConfig(node_size=2),
+        )
+
+
+class TestRLMEquivalence:
+    @given(
+        st.integers(2, 16),
+        st.integers(0, 60),
+        st.integers(1, 3),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_randomized_configs(self, p, max_n, levels, seed):
+        data = random_data(p, max_n, seed)
+        config = RLMConfig(levels=levels, node_size=4)
+        assert_engines_identical(
+            rlm_sort, rlm_sort_reference, p, data, seed, config=config
+        )
+
+    @pytest.mark.parametrize("delivery", ["naive", "randomized", "deterministic", "advanced"])
+    def test_delivery_methods(self, delivery):
+        data = random_data(12, 150, 13)
+        config = RLMConfig(levels=2, node_size=4, delivery=delivery)
+        assert_engines_identical(
+            rlm_sort, rlm_sort_reference, 12, data, 13, config=config
+        )
+
+
+class TestBaselineEquivalence:
+    def test_sample_sort(self):
+        data = random_data(8, 200, 0)
+        assert_engines_identical(
+            single_level_sample_sort, single_level_sample_sort_reference,
+            8, data, 0,
+        )
+
+    @pytest.mark.parametrize("merge_received", [True, False])
+    def test_mergesort(self, merge_received):
+        data = random_data(8, 200, 1)
+        assert_engines_identical(
+            single_level_mergesort, single_level_mergesort_reference,
+            8, data, 1, merge_received=merge_received,
+        )
+
+    def test_quicksort(self):
+        data = random_data(8, 200, 2)
+        assert_engines_identical(
+            parallel_quicksort, parallel_quicksort_reference, 8, data, 2,
+        )
+
+
+class TestFlatCollectives:
+    @given(st.integers(1, 8), st.integers(0, 5), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_alltoallv_flat_matches_alltoallv(self, p, max_len, seed):
+        rng = np.random.default_rng(seed)
+        counts = rng.integers(0, max_len + 1, size=(p, p))
+        send_lists = [
+            [rng.integers(0, 100, size=counts[i, j]) for j in range(p)]
+            for i in range(p)
+        ]
+        m_ref = SimulatedMachine(p, spec=laptop_like(), seed=seed)
+        recv_ref = m_ref.world().alltoallv(send_lists)
+
+        m_flat = SimulatedMachine(p, spec=laptop_like(), seed=seed)
+        flat_values = np.concatenate(
+            [a for row in send_lists for a in row if a.size]
+        ) if counts.sum() else np.empty(0, dtype=np.int64)
+        send = DistArray.from_sizes(flat_values, counts.sum(axis=1))
+        recv, result = m_flat.world().alltoallv_flat(send, counts)
+
+        for j in range(p):
+            expect = [a for a in (recv_ref[j][i] for i in range(p)) if a.size]
+            expect_cat = np.concatenate(expect) if expect else np.empty(0)
+            assert np.array_equal(recv.segment(j), expect_cat)
+        assert np.array_equal(m_ref.clock, m_flat.clock)
+        for field in COUNTER_FIELDS:
+            assert np.array_equal(
+                getattr(m_ref.counters, field), getattr(m_flat.counters, field)
+            )
+
+    def test_alltoallv_flat_rejects_bad_counts(self):
+        machine = SimulatedMachine(2, spec=laptop_like())
+        send = DistArray.from_sizes(np.arange(3), [2, 1])
+        with pytest.raises(ValueError):
+            machine.world().alltoallv_flat(send, np.array([[1, 2], [0, 1]]))
+
+
+class TestRunnerEngines:
+    def test_engine_switch_identical_results(self):
+        data = random_data(16, 150, 9)
+        results = {}
+        for engine in ("flat", "reference"):
+            machine = SimulatedMachine(16, spec=laptop_like(), seed=9)
+            results[engine] = run_on_machine(
+                machine, data, algorithm="ams",
+                config=AMSConfig(levels=2, node_size=4), engine=engine,
+            )
+        a, b = results["flat"], results["reference"]
+        assert a.total_time == b.total_time
+        assert a.phase_times == b.phase_times
+        assert a.traffic == b.traffic
+        for x, y in zip(a.output, b.output):
+            assert np.array_equal(x, y)
+
+    def test_unknown_engine_rejected(self):
+        machine = SimulatedMachine(2, spec=laptop_like())
+        with pytest.raises(ValueError):
+            run_on_machine(machine, [np.arange(3), np.arange(3)],
+                           algorithm="ams", engine="warp")
+
+    def test_dist_array_input_accepted(self):
+        data = random_data(8, 100, 4)
+        dist = DistArray.from_list(data)
+        machine = SimulatedMachine(8, spec=laptop_like(), seed=4)
+        res = run_on_machine(machine, dist, algorithm="ams",
+                             config=AMSConfig(node_size=2))
+        machine2 = SimulatedMachine(8, spec=laptop_like(), seed=4)
+        res2 = run_on_machine(machine2, data, algorithm="ams",
+                              config=AMSConfig(node_size=2))
+        assert res.total_time == res2.total_time
+        for x, y in zip(res.output, res2.output):
+            assert np.array_equal(x, y)
+
+    def test_dist_array_direct_api(self):
+        data = random_data(8, 100, 6)
+        dist = DistArray.from_list(data)
+        machine = SimulatedMachine(8, spec=laptop_like(), seed=6)
+        out = ams_sort(machine.world(), dist, config=AMSConfig(node_size=2))
+        assert isinstance(out, DistArray)
+        concat = np.concatenate([d for d in data if d.size]) if any(
+            d.size for d in data) else np.empty(0, dtype=np.int64)
+        assert np.array_equal(out.values, np.sort(concat, kind="stable"))
