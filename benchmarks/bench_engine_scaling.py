@@ -1,11 +1,14 @@
-"""Benchmark: flat DistArray engine vs the seed per-PE path, p up to 4096.
+"""Benchmark: flat DistArray engine vs the seed per-PE path, p up to 2^15.
 
 The flat engine (``repro.dist``) replaces the per-PE ``for i in range(p)``
-loops of the seed implementation with whole-machine vectorised numpy.  This
-benchmark demonstrates the resulting simulation-throughput gain on AMS-sort
-with the paper's default two-level plan and ``n/p = 1000``:
+loops of the seed implementation with whole-machine vectorised numpy; since
+the full-lockstep recursion every level (not just the final one) runs as one
+batch of segmented operations, which is what makes ``p = 2^15 = 32768`` —
+the largest configuration evaluated in the paper — simulable.  The
+benchmark, on AMS-sort with ``n/p = 1000``:
 
-* runs the flat engine at ``p`` in {64, 256, 1024, 4096},
+* runs the flat engine at ``p`` in {64, 256, 1024, 4096, 32768} (two-level
+  plan up to 4096, the paper's three-level plan at 2^15),
 * runs the seed per-PE reference at ``p`` up to 1024 and verifies the two
   engines produce **identical sorted output and modelled makespan**,
 * reports the wall-clock speedup (the acceptance bar is >= 5x at p=1024),
@@ -36,9 +39,15 @@ from repro.core.config import AMSConfig
 from repro.core.runner import distribute_array, run_on_machine
 from repro.sim.machine import SimulatedMachine
 
-DEFAULT_P_LIST = (64, 256, 1024, 4096)
+DEFAULT_P_LIST = (64, 256, 1024, 4096, 32768)
 N_PER_PE = 1000
 LEVELS = 2  # the paper's default two-level plan
+
+
+def _levels_for(p: int) -> int:
+    """Recursion depth per machine size: the paper's Table 1 uses three
+    levels for its largest (2^15 PE) configuration and two below that."""
+    return 3 if p > 4096 else LEVELS
 
 
 def _run_once(p: int, n_per_pe: int, engine: str, seed: int = 0):
@@ -49,7 +58,8 @@ def _run_once(p: int, n_per_pe: int, engine: str, seed: int = 0):
     local = distribute_array(data, p)
     t0 = time.perf_counter()
     result = run_on_machine(
-        machine, local, algorithm="ams", config=AMSConfig(levels=LEVELS),
+        machine, local, algorithm="ams",
+        config=AMSConfig(levels=_levels_for(p)),
         validate=False, engine=engine,
     )
     return time.perf_counter() - t0, result
@@ -81,7 +91,7 @@ def run_comparison(
         row = {
             "p": int(p),
             "n_per_pe": int(n_per_pe),
-            "levels": LEVELS,
+            "levels": _levels_for(p),
             "wall_flat_s": wall_flat,
             "modelled_time_s": res_flat.total_time,
             "imbalance": res_flat.imbalance,

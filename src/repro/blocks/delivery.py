@@ -763,20 +763,20 @@ def deliver_to_groups_flat(
     )
 
 
-def _flat_assign_advanced(
-    comm,
+def _flat_advanced_parts(
     sizes: np.ndarray,
     piece_starts: np.ndarray,
     group_starts: np.ndarray,
     group_sizes: np.ndarray,
     seed: int,
     oversplit: Optional[float],
-    schedule: str,
-) -> Tuple[List[np.ndarray], np.ndarray, np.ndarray]:
-    """Vectorised advanced randomized assignment (Appendix A).
+) -> Tuple[List[np.ndarray], np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Pure (charge-free) part of the advanced randomized assignment.
 
-    Reproduces :func:`_advanced_orders` + the descriptor delegation exchange
-    + the chunk-order prefix enumeration of the reference path.
+    Returns the message parts plus the descriptor delegation messages
+    ``(desc_src, desc_dest)`` so that callers can execute the descriptor
+    exchange themselves — per island on the single-communicator path, or as
+    one whole-machine batch on the lockstep path.
     """
     p, r = sizes.shape
     total = int(sizes.sum())
@@ -798,31 +798,23 @@ def _flat_assign_advanced(
         per_group.append((chunk_src, chunk_off, chunk_len))
         delegated += dj
 
-    # Descriptor delegation: one constant-size descriptor per chunk of a
-    # broken-up piece, to a pseudorandom PE (cost-only exchange).
+    # Descriptor delegation targets: one constant-size descriptor per chunk
+    # of a broken-up piece, to a pseudorandom PE (Appendix A).
+    desc_src_list: List[int] = []
+    desc_dest_list: List[int] = []
     if delegated > 0:
         perm = FeistelPermutation(max(delegated, 1), seed=seed * 15485863 + 1)
-        desc_src: List[int] = []
-        desc_dest: List[int] = []
         t = 0
         for j, (chunk_src, chunk_off, chunk_len) in enumerate(per_group):
             split_chunk = (chunk_len >= 1) & (
                 (sizes[chunk_src, j] > chunk_len) | (chunk_off > 0)
             )
             for i in chunk_src[split_chunk]:
-                desc_src.append(int(i))
-                desc_dest.append(int(perm.apply(t % max(delegated, 1))) % p)
+                desc_src_list.append(int(i))
+                desc_dest_list.append(int(perm.apply(t % max(delegated, 1))) % p)
                 t += 1
-        n_desc = len(desc_src)
-        desc_msgs = FlatMessages(
-            np.asarray(desc_src, dtype=np.int64),
-            np.asarray(desc_dest, dtype=np.int64),
-            np.zeros(n_desc, dtype=np.int64),
-            np.full(n_desc, 3, dtype=np.int64),
-            np.zeros(3, dtype=np.int64),
-        )
-        comm.exchange_flat(desc_msgs, schedule=schedule, charge_copy=False,
-                           build_inbox=False)
+    desc_src = np.asarray(desc_src_list, dtype=np.int64)
+    desc_dest = np.asarray(desc_dest_list, dtype=np.int64)
 
     group_loads = sizes.sum(axis=0)
     capacities = np.zeros(r, dtype=np.int64)
@@ -842,4 +834,306 @@ def _flat_assign_advanced(
         dest = group_starts[j] + np.minimum(abs_start // block, p_g - 1)
         start = piece_starts[src, j] + chunk_off[chunk_idx] + off
         parts.append(np.stack([src, dest, start, lengths]))
+    return parts, group_loads, capacities, desc_src, desc_dest
+
+
+def _flat_assign_advanced(
+    comm,
+    sizes: np.ndarray,
+    piece_starts: np.ndarray,
+    group_starts: np.ndarray,
+    group_sizes: np.ndarray,
+    seed: int,
+    oversplit: Optional[float],
+    schedule: str,
+) -> Tuple[List[np.ndarray], np.ndarray, np.ndarray]:
+    """Vectorised advanced randomized assignment (Appendix A).
+
+    Reproduces :func:`_advanced_orders` + the descriptor delegation exchange
+    + the chunk-order prefix enumeration of the reference path.
+    """
+    parts, group_loads, capacities, desc_src, desc_dest = _flat_advanced_parts(
+        sizes, piece_starts, group_starts, group_sizes, seed, oversplit
+    )
+    n_desc = int(desc_src.size)
+    if n_desc > 0:
+        desc_msgs = FlatMessages(
+            desc_src,
+            desc_dest,
+            np.zeros(n_desc, dtype=np.int64),
+            np.full(n_desc, 3, dtype=np.int64),
+            np.zeros(3, dtype=np.int64),
+        )
+        comm.exchange_flat(desc_msgs, schedule=schedule, charge_copy=False,
+                           build_inbox=False)
     return parts, group_loads, capacities
+
+
+# ======================================================================
+# Batched (lockstep) delivery over many islands at once
+# ======================================================================
+
+
+@dataclass
+class BatchedDeliveryResult:
+    """Outcome of a lockstep data-delivery step over a batch of islands.
+
+    Attributes
+    ----------
+    received:
+        :class:`DistArray` over the *batch* PEs (``islands.members`` order):
+        what every PE holds after its island's delivery, runs ordered by
+        (source rank, send order) exactly like the reference path.
+    received_sizes:
+        Per-batch-PE element counts after delivery.
+    nonempty_runs:
+        Per-batch-PE number of non-empty received runs (messages plus kept
+        pieces) — the multiway-merge fan-in RLM-sort charges.
+    """
+
+    received: DistArray
+    received_sizes: np.ndarray
+    nonempty_runs: np.ndarray
+
+
+def deliver_to_groups_batched(
+    islands,
+    subgroup_sizes: Sequence[np.ndarray],
+    piece_values: np.ndarray,
+    piece_sizes: Sequence[np.ndarray],
+    method: str = "deterministic",
+    seed: int = 0,
+    oversplit: Optional[float] = None,
+    phase: str = PHASE_DATA_DELIVERY,
+    schedule: str = "sparse",
+) -> BatchedDeliveryResult:
+    """Run the data deliveries of all islands of one recursion level at once.
+
+    The lockstep counterpart of calling :func:`deliver_to_groups_flat` once
+    per island: per-island collectives become
+    :class:`~repro.sim.groups.GroupBatch` charges and the message streams of
+    all islands are executed as one whole-machine exchange.  Because the
+    islands are pairwise disjoint, every PE receives exactly the charge
+    sequence (and the received data) of the island-by-island execution.
+
+    Parameters
+    ----------
+    islands:
+        :class:`~repro.sim.groups.GroupBatch` of the islands delivering at
+        this level; "batch PEs" are ``islands.members`` in order.
+    subgroup_sizes:
+        Per island, the sizes of its ``r_k`` destination sub-groups
+        (island-local, summing to the island size).
+    piece_values:
+        One flat buffer holding every batch PE's pieces in
+        ``(batch PE, destination group)`` order.
+    piece_sizes:
+        Per island, the ``(p_k, r_k)`` piece-size matrix.
+    method, seed, oversplit, phase, schedule:
+        As for :func:`deliver_to_groups_flat`; the per-group pseudorandom
+        permutation seeds restart at every island exactly like the
+        per-island reference calls.
+    """
+    if method not in DELIVERY_METHODS:
+        raise ValueError(f"unknown delivery method {method!r}; choose from {DELIVERY_METHODS}")
+    machine = islands.machine
+    spec = machine.spec
+    q = int(islands.members.size)
+    n_isl = islands.num_groups
+    if len(subgroup_sizes) != n_isl or len(piece_sizes) != n_isl:
+        raise ValueError("need one sub-group layout and piece matrix per island")
+    piece_values = np.asarray(piece_values)
+    isl_off = islands.offsets
+    p_k = islands.sizes
+    pe_isl = np.repeat(np.arange(n_isl, dtype=np.int64), p_k)
+
+    r_k = np.empty(n_isl, dtype=np.int64)
+    block_base = np.zeros(n_isl + 1, dtype=np.int64)
+    for k in range(n_isl):
+        sizes_k = np.asarray(piece_sizes[k], dtype=np.int64)
+        if sizes_k.shape != (int(p_k[k]), int(np.asarray(subgroup_sizes[k]).size)):
+            raise ValueError("piece matrix does not match the island layout")
+        r_k[k] = sizes_k.shape[1]
+        block_base[k + 1] = block_base[k] + int(sizes_k.sum())
+    if int(block_base[-1]) != piece_values.size:
+        raise ValueError("piece_values size does not match piece_sizes")
+
+    flat_sizes = (
+        np.concatenate([
+            np.asarray(m, dtype=np.int64).reshape(-1) for m in piece_sizes
+        ])
+        if n_isl else np.empty(0, dtype=np.int64)
+    )
+    piece_cnt = p_k * r_k
+    piece_off = np.zeros(n_isl + 1, dtype=np.int64)
+    np.cumsum(piece_cnt, out=piece_off[1:])
+    starts_flat = np.cumsum(flat_sizes) - flat_sizes
+
+    with machine.phase(phase):
+        # Same enumeration prefix-sum collective as the per-island reference.
+        islands.charge_collective(r_k)
+
+        parts: List[np.ndarray] = []
+        desc_parts: List[np.ndarray] = []
+
+        # Singleton destination groups (the final recursion level, usually
+        # the vast majority of islands): every prefix-style assignment
+        # degenerates to "each non-empty piece is one whole message to its
+        # group's only PE".  The per-(src, dest) message multiplicity is one,
+        # so neither the per-group enumeration order of the general path nor
+        # the batching across islands can be observed — build all of these
+        # islands' messages in one vectorised pass.
+        eligible = (
+            (r_k == p_k) if method != "advanced"
+            else np.zeros(n_isl, dtype=bool)
+        )
+        if eligible.any():
+            el = np.flatnonzero(eligible)
+            idx = concat_ranges(piece_off[el], piece_cnt[el])
+            isl_of_piece = np.repeat(el, piece_cnt[el])
+            nz = flat_sizes[idx] > 0
+            idx = idx[nz]
+            isl_of_piece = isl_of_piece[nz]
+            local_idx = idx - piece_off[isl_of_piece]
+            parts.append(np.stack([
+                isl_off[isl_of_piece] + local_idx // r_k[isl_of_piece],
+                isl_off[isl_of_piece] + local_idx % r_k[isl_of_piece],
+                starts_flat[idx],
+                flat_sizes[idx],
+            ]))
+
+        for k in np.flatnonzero(~eligible):
+            k = int(k)
+            pk, rk = int(p_k[k]), int(r_k[k])
+            sizes_k = flat_sizes[piece_off[k]:piece_off[k + 1]].reshape(pk, rk)
+            starts_k = starts_flat[piece_off[k]:piece_off[k + 1]].reshape(pk, rk)
+            g_sizes = np.asarray(subgroup_sizes[k], dtype=np.int64)
+            if int(g_sizes.sum()) != pk:
+                raise ValueError("sub-groups must partition their island")
+            g_starts = np.zeros(g_sizes.size, dtype=np.int64)
+            np.cumsum(g_sizes[:-1], out=g_starts[1:])
+            if method == "naive":
+                parts_k, _, _ = _flat_assign_by_prefix(
+                    sizes_k, starts_k, g_starts, g_sizes, None
+                )
+            elif method == "randomized":
+                orders = []
+                for j in range(rk):
+                    perm = FeistelPermutation(pk, seed=seed * 104729 + j)
+                    orders.append(np.argsort(perm.permutation_array(), kind="stable"))
+                parts_k, _, _ = _flat_assign_by_prefix(
+                    sizes_k, starts_k, g_starts, g_sizes, orders
+                )
+            elif method == "deterministic":
+                parts_k, _, _ = _flat_assign_deterministic(
+                    sizes_k, starts_k, g_starts, g_sizes
+                )
+            else:  # advanced
+                parts_k, _, _, desc_src, desc_dest = _flat_advanced_parts(
+                    sizes_k, starts_k, g_starts, g_sizes, seed, oversplit
+                )
+                if desc_src.size:
+                    desc_parts.append(np.stack([
+                        desc_src + isl_off[k], desc_dest + isl_off[k],
+                        np.full(desc_src.size, k, dtype=np.int64),
+                    ]))
+            for part in parts_k:
+                # Island-local ranks -> batch ranks (starts are global already).
+                part = part.copy()
+                part[0] += isl_off[k]
+                part[1] += isl_off[k]
+                parts.append(part)
+
+        # Advanced: one batched cost-only descriptor exchange for the
+        # islands that delegated chunks (the others skip it, as per island).
+        if desc_parts:
+            dsrc, ddest, disl = np.concatenate(desc_parts, axis=1)
+            desc_islands = np.unique(disl)
+            words_s = np.zeros(q, dtype=np.int64)
+            words_r = np.zeros(q, dtype=np.int64)
+            np.add.at(words_s, dsrc, 3)
+            np.add.at(words_r, ddest, 3)
+            msg_s = np.bincount(dsrc, minlength=q).astype(np.int64)
+            msg_r = np.bincount(ddest, minlength=q).astype(np.int64)
+            machine.counters.record_messages(
+                islands.members[dsrc], islands.members[ddest],
+                np.full(dsrc.size, 3, dtype=np.int64),
+            )
+            if schedule == "dense":
+                dense = np.repeat(p_k - 1, p_k)
+                msg_s = dense.copy()
+                msg_r = dense.copy()
+            sel = np.isin(pe_isl, desc_islands)
+            islands.select(desc_islands).charge_exchange(
+                words_s[sel], words_r[sel], msg_s[sel], msg_r[sel],
+                charge_copy=False,
+            )
+
+        if parts:
+            stacked = np.concatenate(parts, axis=1)
+            src, dest, start, length = stacked
+        else:
+            src = dest = start = length = np.empty(0, dtype=np.int64)
+
+        # Locally kept (self-addressed) pieces stay off the network; charged
+        # in send order, exactly like the per-island reference.  For the
+        # prefix/deterministic assignments every (src, dest) pair carries at
+        # most one message, so each PE has at most one kept piece and the
+        # charges vectorise; the advanced chunking can keep several pieces
+        # per PE, whose per-PE charge order the loop preserves.
+        kept_mask = src == dest
+        if method == "advanced":
+            for k in np.flatnonzero(kept_mask):
+                machine.advance(
+                    int(islands.members[src[k]]),
+                    spec.local_move_time(int(length[k])),
+                )
+        elif kept_mask.any():
+            kidx = np.flatnonzero(kept_mask)
+            machine.advance_many(
+                islands.members[src[kidx]],
+                spec.move_ns * 1e-9 * np.maximum(length[kidx], 0),
+            )
+
+        # The whole level's network messages as one batched exchange.
+        net = ~kept_mask
+        words_sent = np.bincount(
+            src[net], weights=length[net], minlength=q
+        ).astype(np.int64)
+        words_received = np.bincount(
+            dest[net], weights=length[net], minlength=q
+        ).astype(np.int64)
+        net_nonempty = net & (length > 0)
+        messages_sent = np.bincount(src[net_nonempty], minlength=q).astype(np.int64)
+        messages_received = np.bincount(dest[net_nonempty], minlength=q).astype(np.int64)
+        if net_nonempty.any():
+            machine.counters.record_messages(
+                islands.members[src[net_nonempty]],
+                islands.members[dest[net_nonempty]],
+                length[net_nonempty],
+            )
+        if schedule == "dense":
+            dense = np.repeat(p_k - 1, p_k)
+            messages_sent = dense.copy()
+            messages_received = dense.copy()
+        islands.charge_exchange(
+            words_sent, words_received, messages_sent, messages_received
+        )
+
+        # Assemble the received DistArray from all runs (network + kept),
+        # ordered by (receiver, source, send order) as in the reference.
+        order = stable_two_key_argsort(dest, src, q, q)
+        recv_values = piece_values[concat_ranges(start[order], length[order])]
+        received_sizes = np.bincount(
+            dest, weights=length, minlength=q
+        ).astype(np.int64)
+        received = DistArray.from_sizes(recv_values, received_sizes)
+        nonempty_runs = np.bincount(
+            dest[length > 0], minlength=q
+        ).astype(np.int64)
+
+    return BatchedDeliveryResult(
+        received=received,
+        received_sizes=received_sizes,
+        nonempty_runs=nonempty_runs,
+    )

@@ -41,22 +41,27 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.blocks.delivery import deliver_to_groups, deliver_to_groups_flat
+from repro.blocks.delivery import deliver_to_groups, deliver_to_groups_batched
 from repro.blocks.fast_sort import (
     grid_shape,
     select_splitters_by_rank,
-    select_splitters_by_rank_flat,
 )
-from repro.blocks.grouping import bucket_to_group, optimal_bucket_grouping
+from repro.blocks.grouping import optimal_bucket_grouping
 from repro.blocks.sampling import (
     SamplingParams,
     draw_local_sample,
-    draw_samples_flat,
     splitter_ranks,
 )
 from repro.core.config import AMSConfig
 from repro.dist.array import DistArray
-from repro.dist.flatops import concat_ranges, stable_two_key_argsort
+from repro.dist.flatops import (
+    blockwise_searchsorted,
+    concat_ranges,
+    map_by_unique,
+    map_by_unique2,
+    ragged_bincount,
+    stable_key_argsort,
+)
 from repro.machine.counters import (
     PHASE_BUCKET_PROCESSING,
     PHASE_DATA_DELIVERY,
@@ -250,338 +255,488 @@ def ams_sort_reference(
     return output
 
 
-def _next_level_r(plan: List[int], next_level: int, group_size: int) -> int:
-    """Group count the recursion would use for a group at ``next_level``."""
+def _level_r(plan: List[int], level: int, group_size: int) -> int:
+    """Group count a recursion level uses for a group of ``group_size`` PEs."""
     if group_size == 1:
         return 1
-    if next_level < len(plan):
-        r = min(int(plan[next_level]), group_size)
+    if level < len(plan):
+        r = min(int(plan[level]), group_size)
     else:
         r = group_size
     return max(2, min(r, group_size))
 
 
-def _ams_sort_last_level_batched(
-    comm,
-    groups,
+def _split_sizes(p: int, r: int) -> np.ndarray:
+    """Sub-group sizes of ``Comm.split``: near-equal, first groups larger."""
+    base, extra = divmod(int(p), int(r))
+    return np.array(
+        [base + (1 if g < extra else 0) for g in range(int(r))], dtype=np.int64
+    )
+
+
+def _level_result(
+    dist: DistArray,
+    isl_offsets: np.ndarray,
+    active: np.ndarray,
+    batch_ranks: np.ndarray,
     received: DistArray,
+    sub_sizes: List[np.ndarray],
+) -> tuple:
+    """Assemble one batched level's result and the next island layout.
+
+    Scatters the batch PEs' received segments back into comm order (passive
+    singleton islands keep their data untouched) and splits every active
+    island's rank range at its sub-group boundaries.  Shared by the AMS and
+    RLM level executors — their reassembly is identical.
+
+    Returns ``(new_dist, next_isl_offsets)``.
+    """
+    sizes_isl = np.diff(isl_offsets)
+    num_isl = int(sizes_isl.size)
+    if int(active.size) == num_isl:
+        new_dist = received
+    else:
+        new_sizes = np.diff(dist.offsets).copy()
+        new_sizes[batch_ranks] = received.sizes()
+        new_offsets = np.zeros(new_sizes.size + 1, dtype=np.int64)
+        np.cumsum(new_sizes, out=new_offsets[1:])
+        new_values = np.empty(int(new_offsets[-1]), dtype=received.dtype)
+        new_values[
+            concat_ranges(new_offsets[batch_ranks], received.sizes())
+        ] = received.values
+        passive = np.setdiff1d(
+            np.arange(num_isl, dtype=np.int64), active, assume_unique=True
+        )
+        passive_ranks = isl_offsets[passive]
+        old_sizes = np.diff(dist.offsets)
+        new_values[
+            concat_ranges(new_offsets[passive_ranks], old_sizes[passive_ranks])
+        ] = dist.values[
+            concat_ranges(dist.offsets[passive_ranks], old_sizes[passive_ranks])
+        ]
+        new_dist = DistArray(new_values, new_offsets)
+
+    next_parts: List[np.ndarray] = []
+    a = 0
+    for g in range(num_isl):
+        start = int(isl_offsets[g])
+        if sizes_isl[g] == 1:
+            next_parts.append(np.array([start], dtype=np.int64))
+        else:
+            gs = sub_sizes[a]
+            next_parts.append(start + np.cumsum(gs) - gs)
+            a += 1
+    next_offsets = np.concatenate(
+        next_parts + [np.array([int(isl_offsets[-1])], dtype=np.int64)]
+    )
+    return new_dist, next_offsets
+
+
+def _segmented_sample_splitters(
+    samples_b: DistArray,
+    isl_sample_tot: np.ndarray,
+    r_act: np.ndarray,
+    sampling: SamplingParams,
+) -> List[np.ndarray]:
+    """Sort the batch sample per island and pick equidistant splitters.
+
+    One segmented stable argsort over the whole batch, then per island the
+    :func:`splitter_ranks` pick; islands with no sample or no splitters get
+    an empty array.  Charge-free — the grid and centralized splitter paths
+    share this data plane and differ only in what they charge.
+    """
+    n_act = int(isl_sample_tot.size)
+    sample_off = np.zeros(n_act + 1, dtype=np.int64)
+    np.cumsum(isl_sample_tot, out=sample_off[1:])
+    sample_island = np.repeat(np.arange(n_act, dtype=np.int64), isl_sample_tot)
+    order = np.lexsort((samples_b.values, sample_island))
+    sorted_samples = samples_b.values[order]
+    splitters_per_isl: List[np.ndarray] = []
+    for k in range(n_act):
+        ns_k = sampling.num_splitters(int(r_act[k]))
+        tot = int(isl_sample_tot[k])
+        if ns_k <= 0 or tot == 0:
+            splitters_per_isl.append(sorted_samples[:0])
+        else:
+            ranks = splitter_ranks(tot, ns_k)
+            splitters_per_isl.append(sorted_samples[int(sample_off[k]) + ranks])
+    return splitters_per_isl
+
+
+def _batched_grid_splitters(
+    comm,
+    islands: GroupBatch,
+    samples_b: DistArray,
+    act_sizes: np.ndarray,
+    r_act: np.ndarray,
+    sampling: SamplingParams,
+) -> List[np.ndarray]:
+    """Fast work-inefficient sample sort + splitter pick for a level batch.
+
+    Lockstep port of :func:`repro.blocks.fast_sort.select_splitters_by_rank_flat`
+    applied to every island at once: the sample-sort *data* result of island
+    ``k`` is its samples' global stable order (one segmented argsort over the
+    whole batch), while the modelled grid costs — local sample sorts, the
+    hand-off exchanges of PEs outside a non-square grid, row/column gossip,
+    ranking merges, column rank reductions, and the final splitter broadcast
+    — are charged step for step like the per-island reference.
+    """
+    machine = islands.machine
+    spec = machine.spec
+    batch_members = islands.members
+    act_off = islands.offsets
+    n_act = islands.num_groups
+    q = int(batch_members.size)
+    pe_isl = np.repeat(np.arange(n_act, dtype=np.int64), act_sizes)
+
+    with comm.phase(PHASE_SPLITTER_SELECTION):
+        s_sizes = samples_b.sizes()
+        machine.advance_many(
+            batch_members,
+            map_by_unique(s_sizes, lambda m: spec.local_sort_time(int(m))),
+        )
+        isl_sample_tot = np.add.reduceat(s_sizes, act_off[:-1])
+        grid_active = np.flatnonzero(isl_sample_tot > 0)
+        shapes = [grid_shape(int(pk)) for pk in act_sizes]
+
+        # PEs outside a non-square grid hand their sample to a grid PE;
+        # the reference ships values and ids in two cost-only exchanges.
+        handoff = np.array(
+            [k for k in grid_active if shapes[k].size < int(act_sizes[k])],
+            dtype=np.int64,
+        )
+        grid_sizes = s_sizes.copy()
+        if handoff.size:
+            words_s = np.zeros(q, dtype=np.int64)
+            words_r = np.zeros(q, dtype=np.int64)
+            msg_s = np.zeros(q, dtype=np.int64)
+            msg_r = np.zeros(q, dtype=np.int64)
+            ho_src: List[np.ndarray] = []
+            ho_dest: List[np.ndarray] = []
+            for k in handoff:
+                k = int(k)
+                base = int(act_off[k])
+                gp = shapes[k].size
+                outside = np.arange(base + gp, base + int(act_sizes[k]), dtype=np.int64)
+                dests = base + (np.arange(gp, int(act_sizes[k]), dtype=np.int64) % gp)
+                words_s[outside] = s_sizes[outside]
+                np.add.at(words_r, dests, s_sizes[outside])
+                nonempty = s_sizes[outside] > 0
+                msg_s[outside[nonempty]] = 1
+                np.add.at(msg_r, dests[nonempty], 1)
+                np.add.at(grid_sizes, dests, s_sizes[outside])
+                ho_src.append(outside[nonempty])
+                ho_dest.append(dests[nonempty])
+            sel = np.isin(pe_isl, handoff)
+            sub = islands.select(handoff)
+            src_all = np.concatenate(ho_src)
+            dest_all = np.concatenate(ho_dest)
+            for _ in range(2):  # sample values, then their ids
+                if src_all.size:
+                    machine.counters.record_messages(
+                        batch_members[src_all], batch_members[dest_all],
+                        s_sizes[src_all],
+                    )
+                sub.charge_exchange(
+                    words_s[sel], words_r[sel], msg_s[sel], msg_r[sel],
+                    charge_copy=False,
+                )
+
+        if grid_active.size:
+            # Row/column gossip: rows are contiguous PE runs inside the grid.
+            row_members: List[np.ndarray] = []
+            row_sizes: List[int] = []
+            row_words: List[int] = []
+            col_members: List[np.ndarray] = []
+            col_sizes: List[int] = []
+            col_words: List[int] = []
+            merge_pes: List[np.ndarray] = []
+            merge_szs: List[np.ndarray] = []
+            for k in grid_active:
+                k = int(k)
+                rows, cols = shapes[k].rows, shapes[k].cols
+                base = int(act_off[k])
+                grid = np.arange(base, base + rows * cols, dtype=np.int64)
+                grid2d = grid.reshape(rows, cols)
+                sz2d = grid_sizes[grid2d]
+                row_tot = sz2d.sum(axis=1)
+                col_tot = sz2d.sum(axis=0)
+                for ri in range(rows):
+                    row_members.append(batch_members[grid2d[ri]])
+                    row_sizes.append(cols)
+                    row_words.append(
+                        max(1, int(math.ceil(int(row_tot[ri]) / max(cols, 1))))
+                    )
+                for cj in range(cols):
+                    col_members.append(batch_members[grid2d[:, cj]])
+                    col_sizes.append(rows)
+                    col_words.append(
+                        max(1, int(math.ceil(int(col_tot[cj]) / max(rows, 1))))
+                    )
+                merge_pes.append(batch_members[grid])
+                merge_szs.append((row_tot[:, None] + col_tot[None, :]).reshape(-1))
+
+            def _batch(members_list, sizes_list):
+                offs = np.zeros(len(sizes_list) + 1, dtype=np.int64)
+                np.cumsum(np.asarray(sizes_list, dtype=np.int64), out=offs[1:])
+                return GroupBatch(machine, np.concatenate(members_list), offs)
+
+            row_batch = _batch(row_members, row_sizes)
+            row_batch.charge_collective(row_words, rounds_factors=row_sizes)
+            col_batch = _batch(col_members, col_sizes)
+            col_batch.charge_collective(col_words, rounds_factors=col_sizes)
+            machine.advance_many(
+                np.concatenate(merge_pes),
+                map_by_unique(
+                    np.concatenate(merge_szs),
+                    lambda m: spec.local_merge_time(int(m), 2),
+                ),
+            )
+            col_red_words = []
+            for k in grid_active:
+                k = int(k)
+                rows, cols = shapes[k].rows, shapes[k].cols
+                base = int(act_off[k])
+                sz2d = grid_sizes[base:base + rows * cols].reshape(rows, cols)
+                col_red_words.extend(int(c) for c in sz2d.sum(axis=0))
+            col_batch.charge_collective(col_red_words)
+
+        # Sample-sort data: shared segmented argsort + splitter pick; only
+        # islands that actually have splitters charge the broadcast.
+        splitters_per_isl = _segmented_sample_splitters(
+            samples_b, isl_sample_tot, r_act, sampling
+        )
+        bcast_idx = [
+            k for k, spl in enumerate(splitters_per_isl) if spl.size
+        ]
+        if bcast_idx:
+            islands.select(np.asarray(bcast_idx)).charge_collective(
+                [int(splitters_per_isl[k].size) for k in bcast_idx]
+            )
+    return splitters_per_isl
+
+
+def _batched_centralized_splitters(
+    comm,
+    islands: GroupBatch,
+    samples_b: DistArray,
+    r_act: np.ndarray,
+    sampling: SamplingParams,
+) -> List[np.ndarray]:
+    """Lockstep port of :func:`_centralized_splitters` for a level batch.
+
+    Gather (bottlenecked by the largest per-PE contribution), root-local
+    sort, equidistant splitter pick and broadcast — each charged per island
+    through the :class:`GroupBatch`.
+    """
+    machine = islands.machine
+    spec = machine.spec
+    act_off = islands.offsets
+    n_act = islands.num_groups
+    s_sizes = samples_b.sizes()
+    with comm.phase(PHASE_SPLITTER_SELECTION):
+        words_each = [
+            max(1, int(s_sizes[act_off[k]:act_off[k + 1]].max(initial=1)))
+            for k in range(n_act)
+        ]
+        islands.charge_collective(words_each, rounds_factors=islands.sizes)
+
+        isl_tot = np.add.reduceat(s_sizes, act_off[:-1])
+        machine.advance_many(
+            islands.members[act_off[:-1]],
+            [spec.local_sort_time(int(t)) for t in isl_tot],
+        )
+        splitters_per_isl = _segmented_sample_splitters(
+            samples_b, isl_tot, r_act, sampling
+        )
+        # The centralized scheme broadcasts from every island's root, even
+        # an empty splitter set (words = 0 still costs the latency term).
+        islands.charge_collective(
+            [int(spl.size) for spl in splitters_per_isl]
+        )
+    return splitters_per_isl
+
+
+def _ams_level_batched(
+    comm,
+    dist: DistArray,
+    isl_offsets: np.ndarray,
     config: AMSConfig,
     level: int,
-    _n_total: int,
-) -> DistArray:
-    """Run the final AMS-sort level of *all* sub-groups (islands) in lockstep.
+    plan: List[int],
+    n_total: int,
+) -> tuple:
+    """Run one AMS-sort recursion level for *all* islands in lockstep.
 
-    Precondition (checked by the caller): every island of size > 1 splits
-    into singleton groups at this level (``r == p``), its fast-sample-sort
-    grid covers all of its PEs, and the delivery method is not ``advanced``.
-    Under these conditions the per-island recursion bodies are the same
-    program on disjoint PE sets, so the whole level runs as one batch of
-    segmented whole-machine operations: per-island collectives become
-    :class:`~repro.sim.groups.GroupBatch` charges, the singleton-group
-    delivery degenerates to "each non-empty piece is one whole message", and
-    the ``p`` recursive base cases collapse into one segmented sort.  Every
-    PE receives exactly the charge sequence of the island-by-island
-    reference execution.
+    ``isl_offsets`` delimits the current recursion islands (groups of the
+    previous level) as contiguous rank ranges of ``comm``; every island of
+    size > 1 executes this level's four phases as part of one whole-machine
+    batch of segmented operations, charged per ``(group, PE)`` through
+    :class:`GroupBatch`.  Singleton islands are already at their base case
+    and pass through untouched (their final local sort is charged by the
+    caller, which is where the reference recursion charges it too — the
+    deferral is invisible to per-PE clocks because base cases never
+    synchronise with anyone).
+
+    Returns ``(new_dist, new_isl_offsets)`` for the next level.
     """
     machine = comm.machine
     spec = comm.spec
-    sampling = config.sampling_for(max(_n_total, 2))
-    num_islands = len(groups)
+    sizes_isl = np.diff(isl_offsets)
+    num_isl = int(sizes_isl.size)
+    active = np.flatnonzero(sizes_isl > 1)
+    n_act = int(active.size)
+    act_sizes = sizes_isl[active]
+    act_off = np.zeros(n_act + 1, dtype=np.int64)
+    np.cumsum(act_sizes, out=act_off[1:])
+    q = int(act_off[-1])
+    batch_ranks = concat_ranges(isl_offsets[active], act_sizes)
+    batch_members = comm.members[batch_ranks]
+    islands = GroupBatch(machine, batch_members, act_off)
+    pe_isl = np.repeat(np.arange(n_act, dtype=np.int64), act_sizes)
+    dist_b = dist if n_act == num_isl else dist.take_segments(batch_ranks)
+    data_sizes = dist_b.sizes()
 
-    isl_sizes_all = np.array([g.size for g in groups], dtype=np.int64)
-    rank_offsets_all = np.zeros(num_islands + 1, dtype=np.int64)
-    np.cumsum(isl_sizes_all, out=rank_offsets_all[1:])
-    multi_idx = np.flatnonzero(isl_sizes_all > 1)
-    single_idx = np.flatnonzero(isl_sizes_all == 1)
+    r_act = np.array(
+        [_level_r(plan, level, int(pk)) for pk in act_sizes], dtype=np.int64
+    )
+    sampling = config.sampling_for(max(n_total, 2))
 
-    out_b: Optional[DistArray] = None
-    sorted_singles: Optional[DistArray] = None
-
-    if multi_idx.size:
-        sizes_m = isl_sizes_all[multi_idx]           # island sizes (= r per island)
-        n_m = int(multi_idx.size)
-        isl_offsets = np.zeros(n_m + 1, dtype=np.int64)
-        np.cumsum(sizes_m, out=isl_offsets[1:])
-        q = int(isl_offsets[-1])                     # PEs in the batch
-        batch_ranks = concat_ranges(rank_offsets_all[multi_idx], sizes_m)
-        batch_members = comm.members[batch_ranks]
-        island_of_pe = np.repeat(np.arange(n_m, dtype=np.int64), sizes_m)
-        islands = GroupBatch(machine, batch_members, isl_offsets)
-        if single_idx.size == 0:
-            dist_b = received
-        else:
-            dist_b = DistArray.concatenate([
-                received.slice_segments(
-                    int(rank_offsets_all[g]), int(rank_offsets_all[g + 1])
-                )
-                for g in multi_idx
-            ])
-        data_sizes = dist_b.sizes()
-
-        # --------------------------------------------------------------
-        # 1. Sampling (segment-aware, per-PE RNG streams)
-        # --------------------------------------------------------------
-        with comm.phase(PHASE_SPLITTER_SELECTION):
-            per_pe_counts = np.repeat(
-                np.array(
-                    [sampling.samples_per_pe(int(pk), int(pk)) for pk in sizes_m],
-                    dtype=np.int64,
-                ),
-                sizes_m,
-            )
-            samples_b = DistArray.from_list([
-                draw_local_sample(
-                    dist_b.segment(i),
-                    int(per_pe_counts[i]),
-                    machine.pe_rng(int(batch_members[i])),
-                )
-                for i in range(q)
-            ])
-
-            # ----------------------------------------------------------
-            # 2. Fast work-inefficient sample sort, batched over islands
-            # ----------------------------------------------------------
-            s_sizes = samples_b.sizes()
-            machine.advance_many(
-                batch_members, [spec.local_sort_time(int(m)) for m in s_sizes]
-            )
-            isl_sample_sizes = np.add.reduceat(s_sizes, isl_offsets[:-1])
-            active = np.flatnonzero(isl_sample_sizes > 0)
-
-            shapes = [grid_shape(int(pk)) for pk in sizes_m]
-            if active.size:
-                # Row gossip: rows are contiguous PE runs inside each island.
-                row_members: List[np.ndarray] = []
-                row_sizes: List[int] = []
-                row_words: List[int] = []
-                col_members: List[np.ndarray] = []
-                col_sizes: List[int] = []
-                col_words: List[int] = []
-                merge_pes: List[np.ndarray] = []
-                merge_ts: List[float] = []
-                for k in active:
-                    k = int(k)
-                    rows, cols = shapes[k].rows, shapes[k].cols
-                    base = int(isl_offsets[k])
-                    grid = np.arange(base, base + rows * cols, dtype=np.int64)
-                    grid2d = grid.reshape(rows, cols)
-                    sz2d = s_sizes[grid2d]
-                    row_tot = sz2d.sum(axis=1)
-                    col_tot = sz2d.sum(axis=0)
-                    for ri in range(rows):
-                        row_members.append(batch_members[grid2d[ri]])
-                        row_sizes.append(cols)
-                        row_words.append(
-                            max(1, int(math.ceil(int(row_tot[ri]) / max(cols, 1))))
-                        )
-                    for cj in range(cols):
-                        col_members.append(batch_members[grid2d[:, cj]])
-                        col_sizes.append(rows)
-                        col_words.append(
-                            max(1, int(math.ceil(int(col_tot[cj]) / max(rows, 1))))
-                        )
-                    merge_pes.append(batch_members[grid])
-                    merge_sz = row_tot[:, None] + col_tot[None, :]
-                    merge_ts.extend(
-                        spec.local_merge_time(int(m), 2) for m in merge_sz.reshape(-1)
-                    )
-
-                def _batch(members_list, sizes_list):
-                    offs = np.zeros(len(sizes_list) + 1, dtype=np.int64)
-                    np.cumsum(np.asarray(sizes_list, dtype=np.int64), out=offs[1:])
-                    return GroupBatch(machine, np.concatenate(members_list), offs)
-
-                row_batch = _batch(row_members, row_sizes)
-                row_batch.charge_collective(row_words, rounds_factors=row_sizes)
-                col_batch = _batch(col_members, col_sizes)
-                col_batch.charge_collective(col_words, rounds_factors=col_sizes)
-                machine.advance_many(np.concatenate(merge_pes), merge_ts)
-                col_red_words = []
-                for k in active:
-                    k = int(k)
-                    rows, cols = shapes[k].rows, shapes[k].cols
-                    base = int(isl_offsets[k])
-                    sz2d = s_sizes[base:base + rows * cols].reshape(rows, cols)
-                    col_red_words.extend(int(c) for c in sz2d.sum(axis=0))
-                col_batch.charge_collective(col_red_words)
-
-            # Sample sort data: one segmented stable argsort over the batch.
-            sample_isl_totals = isl_sample_sizes
-            sample_isl_offsets = np.zeros(n_m + 1, dtype=np.int64)
-            np.cumsum(sample_isl_totals, out=sample_isl_offsets[1:])
-            sample_island = np.repeat(np.arange(n_m, dtype=np.int64), sample_isl_totals)
-            order = np.lexsort((samples_b.values, sample_island))
-            sorted_samples = samples_b.values[order]
-
-            splitters_per_isl: List[np.ndarray] = []
-            bcast_idx: List[int] = []
-            bcast_words: List[int] = []
-            for k in range(n_m):
-                ns_k = sampling.num_splitters(int(sizes_m[k]))
-                tot = int(sample_isl_totals[k])
-                if ns_k <= 0 or tot == 0:
-                    splitters_per_isl.append(sorted_samples[:0])
-                    continue
-                ranks = ((np.arange(1, ns_k + 1) * tot) // (ns_k + 1))
-                ranks = np.clip(ranks, 0, tot - 1)
-                spl = sorted_samples[int(sample_isl_offsets[k]) + ranks]
-                splitters_per_isl.append(spl)
-                bcast_idx.append(k)
-                bcast_words.append(int(spl.size))
-            if bcast_idx:
-                islands.select(np.asarray(bcast_idx)).charge_collective(bcast_words)
-
-        # --------------------------------------------------------------
-        # 3. Bucket processing (counting, grouping, partition)
-        # --------------------------------------------------------------
-        with comm.phase(PHASE_BUCKET_PROCESSING):
-            nb_per_isl = np.array(
-                [max(1, int(spl.size) + 1) if spl.size else 1
-                 for spl in splitters_per_isl],
-                dtype=np.int64,
-            )
-            bucketed = []
-            for k in range(n_m):
-                lo_v = int(dist_b.offsets[isl_offsets[k]])
-                hi_v = int(dist_b.offsets[isl_offsets[k + 1]])
-                vals_k = dist_b.values[lo_v:hi_v]
-                spl = splitters_per_isl[k]
-                if spl.size == 0:
-                    bucket_of_k = np.zeros(vals_k.size, dtype=np.int64)
-                    gbs_k = np.array([vals_k.size], dtype=np.int64)
-                else:
-                    bucket_of_k = bucket_indices(vals_k, spl)
-                    gbs_k = np.bincount(
-                        bucket_of_k, minlength=int(spl.size) + 1
-                    ).astype(np.int64)
-                bucketed.append((gbs_k, bucket_of_k))
-            islands.charge_collective([int(x) for x in nb_per_isl])
-            dest_parts: List[np.ndarray] = []
-            for k in range(n_m):
-                gbs_k, bucket_of_k = bucketed[k]
-                grouping = optimal_bucket_grouping(
-                    gbs_k, int(sizes_m[k]), method="accelerated"
-                )
-                dest_parts.append(
-                    bucket_to_group(grouping.boundaries, bucket_of_k)
-                )
-            islands.charge_collective([1] * n_m)  # max-reduce of the bound
-            dest_local = (
-                np.concatenate(dest_parts) if dest_parts
-                else np.empty(0, dtype=np.int64)
-            )
-
-            r_per_pe = np.repeat(sizes_m, sizes_m)
-            pe_piece_base = np.cumsum(r_per_pe) - r_per_pe
-            pe_of_element = dist_b.segment_ids()
-            key = pe_piece_base[pe_of_element] + dest_local
-            total_pieces = int(r_per_pe.sum())
-            order = stable_two_key_argsort(
-                pe_of_element, dest_local, q, int(sizes_m.max())
-            )
-            piece_values = dist_b.values[order]
-            piece_len = np.bincount(key, minlength=total_pieces).astype(
-                np.int64, copy=False
-            )
-            machine.advance_many(
-                batch_members,
+    # ------------------------------------------------------------------
+    # 1. Splitter selection (segmented sampling + batched sample sort)
+    # ------------------------------------------------------------------
+    with comm.phase(PHASE_SPLITTER_SELECTION):
+        per_pe_counts = np.repeat(
+            np.array(
                 [
-                    spec.local_partition_time(
-                        int(m), max(2, int(nb_per_isl[island_of_pe[i]]))
-                    )
-                    for i, m in enumerate(data_sizes)
+                    sampling.samples_per_pe(int(pk), int(rk))
+                    for pk, rk in zip(act_sizes, r_act)
                 ],
+                dtype=np.int64,
+            ),
+            act_sizes,
+        )
+        samples_b = DistArray.from_list([
+            draw_local_sample(
+                dist_b.segment(i),
+                int(per_pe_counts[i]),
+                machine.pe_rng(int(batch_members[i])),
             )
+            for i in range(q)
+        ])
+    if config.use_fast_sample_sort:
+        splitters_per_isl = _batched_grid_splitters(
+            comm, islands, samples_b, act_sizes, r_act, sampling
+        )
+    else:
+        splitters_per_isl = _batched_centralized_splitters(
+            comm, islands, samples_b, r_act, sampling
+        )
 
-        # --------------------------------------------------------------
-        # 4. Delivery to singleton groups: one whole message per piece
-        # --------------------------------------------------------------
-        with comm.phase(PHASE_DATA_DELIVERY):
-            islands.charge_collective([int(pk) for pk in sizes_m])  # exscan
-            piece_pe = np.repeat(np.arange(q, dtype=np.int64), r_per_pe)
-            piece_j = np.arange(total_pieces, dtype=np.int64) - pe_piece_base[piece_pe]
-            piece_dest = isl_offsets[island_of_pe[piece_pe]] + piece_j
-            piece_start = np.cumsum(piece_len) - piece_len
-            nonempty = piece_len > 0
-            msg_src = piece_pe[nonempty]
-            msg_dest = piece_dest[nonempty]
-            msg_len = piece_len[nonempty]
-            msg_start = piece_start[nonempty]
+    # ------------------------------------------------------------------
+    # 2. Bucket processing: one segmented search per element, per-island
+    #    grouping, one stable (PE, group) reorder for the whole batch
+    # ------------------------------------------------------------------
+    with comm.phase(PHASE_BUCKET_PROCESSING):
+        spl_sizes = np.array(
+            [int(s.size) for s in splitters_per_isl], dtype=np.int64
+        )
+        nb_per_isl = np.where(spl_sizes > 0, spl_sizes + 1, 1)
+        spl_off = np.zeros(n_act + 1, dtype=np.int64)
+        np.cumsum(spl_sizes, out=spl_off[1:])
+        spl_values = (
+            np.concatenate([s for s in splitters_per_isl if s.size])
+            if spl_off[-1] else np.empty(0, dtype=dist_b.dtype)
+        )
+        elem_off = dist_b.offsets[act_off]  # element range per island
+        elem_pe = dist_b.segment_ids()
+        elem_isl = pe_isl[elem_pe]
+        bucket_of = blockwise_searchsorted(
+            spl_values, spl_off, dist_b.values, elem_off, side="right"
+        )
+        nb_off = np.zeros(n_act + 1, dtype=np.int64)
+        np.cumsum(nb_per_isl, out=nb_off[1:])
+        # Global bucket sizes per island: the per-(group, PE) reduction.
+        gbs_flat = ragged_bincount(elem_isl, bucket_of, nb_off)
+        isl_bucket_key = nb_off[elem_isl] + bucket_of
+        islands.charge_collective(nb_per_isl)
 
-            kept_mask = msg_src == msg_dest
-            if kept_mask.any():
-                kept_src = msg_src[kept_mask]
-                machine.advance_many(
-                    batch_members[kept_src],
-                    [spec.local_move_time(int(m)) for m in msg_len[kept_mask]],
-                )
-
-            net = ~kept_mask
-            words_sent = np.zeros(q, dtype=np.int64)
-            words_received = np.zeros(q, dtype=np.int64)
-            np.add.at(words_sent, msg_src[net], msg_len[net])
-            np.add.at(words_received, msg_dest[net], msg_len[net])
-            messages_sent = np.bincount(msg_src[net], minlength=q).astype(np.int64)
-            messages_received = np.bincount(msg_dest[net], minlength=q).astype(np.int64)
-            if net.any():
-                machine.counters.record_messages(
-                    batch_members[msg_src[net]],
-                    batch_members[msg_dest[net]],
-                    msg_len[net],
-                )
-            if config.exchange_schedule == "dense":
-                messages_sent = np.repeat(sizes_m - 1, sizes_m)
-                messages_received = messages_sent.copy()
-            islands.charge_exchange(
-                words_sent, words_received, messages_sent, messages_received
+        # Bucket -> destination group per island through one ragged lookup
+        # table (buckets are few, elements are not).
+        lut_parts: List[np.ndarray] = []
+        for k in range(n_act):
+            grouping = optimal_bucket_grouping(
+                gbs_flat[nb_off[k]:nb_off[k + 1]], int(r_act[k]),
+                method="accelerated",
             )
+            lut_parts.append(np.repeat(
+                np.arange(int(r_act[k]), dtype=np.int64),
+                np.diff(grouping.boundaries),
+            ))
+        islands.charge_collective(np.ones(n_act, dtype=np.int64))
+        lut = np.concatenate(lut_parts)
+        dest_local = lut[isl_bucket_key]
 
-            order2 = stable_two_key_argsort(msg_dest, msg_src, q, q)
-            recv_values = piece_values[
-                concat_ranges(msg_start[order2], msg_len[order2])
-            ]
-            recv_sizes = np.zeros(q, dtype=np.int64)
-            np.add.at(recv_sizes, msg_dest, msg_len)
-            received_b = DistArray.from_sizes(recv_values, recv_sizes)
+        r_per_pe = r_act[pe_isl]
+        pe_piece_base = np.cumsum(r_per_pe) - r_per_pe
+        piece_key = pe_piece_base[elem_pe] + dest_local
+        total_pieces = int(r_per_pe.sum())
+        # Stable (PE, group) reorder, island by island: inside one island the
+        # piece key spans only p_k * r_k values, which keeps the stable
+        # argsort in the fast narrow-integer radix path instead of paying
+        # two whole-machine radix passes per level.
+        order = np.empty(dist_b.total, dtype=np.int64)
+        for k in range(n_act):
+            sl = slice(int(elem_off[k]), int(elem_off[k + 1]))
+            base = int(pe_piece_base[act_off[k]])
+            order[sl] = stable_key_argsort(
+                piece_key[sl] - base, int(act_sizes[k]) * int(r_act[k])
+            ) + int(elem_off[k])
+        piece_values = dist_b.values[order]
+        piece_len = np.bincount(piece_key, minlength=total_pieces).astype(
+            np.int64, copy=False
+        )
+        machine.advance_many(
+            batch_members,
+            map_by_unique2(
+                data_sizes,
+                np.maximum(2, nb_per_isl[pe_isl]),
+                lambda m, nb: spec.local_partition_time(m, nb),
+            ),
+        )
 
-        # --------------------------------------------------------------
-        # 5. Base cases: one segmented sort for all singleton groups
-        # --------------------------------------------------------------
-        with comm.phase(PHASE_LOCAL_SORT):
-            out_b = received_b.sort_segments()
-            machine.advance_many(
-                batch_members, [spec.local_sort_time(int(m)) for m in recv_sizes]
-            )
+    # ------------------------------------------------------------------
+    # 3. Data delivery for every island at once
+    # ------------------------------------------------------------------
+    sub_sizes = [
+        _split_sizes(int(act_sizes[k]), int(r_act[k])) for k in range(n_act)
+    ]
+    piece_base = np.zeros(n_act + 1, dtype=np.int64)
+    np.cumsum(act_sizes * r_act, out=piece_base[1:])
+    piece_mats = [
+        piece_len[piece_base[k]:piece_base[k + 1]].reshape(
+            int(act_sizes[k]), int(r_act[k])
+        )
+        for k in range(n_act)
+    ]
+    delivery = deliver_to_groups_batched(
+        islands,
+        sub_sizes,
+        piece_values,
+        piece_mats,
+        method=config.delivery,
+        seed=machine.seed + level + 1,
+        phase=PHASE_DATA_DELIVERY,
+        schedule=config.exchange_schedule,
+    )
+    received = delivery.received
 
-    if single_idx.size:
-        with comm.phase(PHASE_LOCAL_SORT):
-            single_dist = DistArray.from_list([
-                received.segment(int(rank_offsets_all[g])) for g in single_idx
-            ])
-            sorted_singles = single_dist.sort_segments()
-            single_members = comm.members[rank_offsets_all[single_idx]]
-            machine.advance_many(
-                single_members,
-                [spec.local_sort_time(int(m)) for m in single_dist.sizes()],
-            )
-
-    if single_idx.size == 0:
-        assert out_b is not None
-        return out_b
-
-    # Interleave multi-island and singleton outputs back into group order.
-    parts: List[DistArray] = []
-    multi_pos = {int(g): i for i, g in enumerate(multi_idx)}
-    single_pos = {int(g): i for i, g in enumerate(single_idx)}
-    for g in range(num_islands):
-        if g in multi_pos:
-            i = multi_pos[g]
-            base = int(np.sum(isl_sizes_all[multi_idx[:i]]))
-            parts.append(out_b.slice_segments(base, base + int(isl_sizes_all[g])))
-        else:
-            i = single_pos[g]
-            parts.append(sorted_singles.slice_segments(i, i + 1))
-    return DistArray.concatenate(parts)
+    # ------------------------------------------------------------------
+    # 4. Next-level island layout (+ pass-through of singleton islands)
+    # ------------------------------------------------------------------
+    return _level_result(
+        dist, isl_offsets, active, batch_ranks, received, sub_sizes
+    )
 
 
 def _ams_sort_flat(
@@ -592,14 +747,15 @@ def _ams_sort_flat(
     _plan: Optional[List[int]] = None,
     _n_total: Optional[int] = None,
 ) -> DistArray:
-    """One level of AMS-sort on the flat engine (whole-machine vectorised).
+    """AMS-sort on the flat engine: the whole recursion in lockstep.
 
-    The four phases become: per-PE sampling via segment-aware gather, one
-    ``searchsorted`` + one ``bincount`` over combined ``(PE, bucket)`` keys
-    for the global bucket sizes, one stable argsort on ``(PE, group)`` keys
-    for the group routing, and offset-arithmetic message assembly in
-    :func:`deliver_to_groups_flat`.  All modelled charges are issued in the
-    same order and with the same arguments as the per-PE reference.
+    Every recursion level executes the *entire* batch of sibling sub-groups
+    (islands) as whole-machine vectorised phases — see
+    :func:`_ams_level_batched` — until all islands are single PEs, whose
+    base-case sorts collapse into one final segmented sort.  All modelled
+    charges are issued per PE in the same order and with the same arguments
+    as the depth-first per-PE reference, which only the batching across
+    *disjoint* PE sets makes possible.
     """
     p = comm.size
 
@@ -617,113 +773,20 @@ def _ams_sort_flat(
     if _n_total is None:
         _n_total = dist.total
 
-    if level < len(_plan):
-        r = min(int(_plan[level]), p)
-    else:
-        r = p
-    r = max(2, min(r, p)) if p > 1 else 1
-
-    sampling = config.sampling_for(max(_n_total, 2))
-    num_splitters = sampling.num_splitters(r)
-    sizes = dist.sizes()
-
-    # ------------------------------------------------------------------
-    # 1. Splitter selection
-    # ------------------------------------------------------------------
-    with comm.phase(PHASE_SPLITTER_SELECTION):
-        per_pe = sampling.samples_per_pe(p, r)
-        samples = draw_samples_flat(dist, per_pe, [comm.pe_rng(i) for i in range(p)])
-    if config.use_fast_sample_sort:
-        splitters = select_splitters_by_rank_flat(
-            comm, samples, num_splitters, phase=PHASE_SPLITTER_SELECTION
+    isl_offsets = np.array([0, p], dtype=np.int64)
+    cur_level = level
+    while int(np.diff(isl_offsets).max(initial=0)) > 1:
+        dist, isl_offsets = _ams_level_batched(
+            comm, dist, isl_offsets, config, cur_level, _plan, _n_total
         )
-    else:
-        splitters = _centralized_splitters(comm, samples.to_list(), num_splitters)
+        cur_level += 1
 
-    # ------------------------------------------------------------------
-    # 2. Bucket processing: partition, global bucket sizes, bucket grouping
-    # ------------------------------------------------------------------
-    with comm.phase(PHASE_BUCKET_PROCESSING):
-        seg = dist.segment_ids()
-        if splitters.size == 0:
-            bucket_of = np.zeros(dist.total, dtype=np.int64)
-            nb = 1
-            global_bucket_sizes = np.array([dist.total], dtype=np.int64)
-        else:
-            bucket_of = bucket_indices(dist.values, splitters)
-            nb = int(splitters.size) + 1
-            global_bucket_sizes = np.bincount(bucket_of, minlength=nb).astype(
-                np.int64, copy=False
-            )
-        comm.charge_allreduce_vec(nb)
-        grouping = optimal_bucket_grouping(global_bucket_sizes, r, method="accelerated")
-        # The parallel bound search of Appendix C costs O(br + alpha log p);
-        # charge one extra small collective per search round.
-        comm.allreduce_scalar([float(grouping.bound)] * p, op=np.max)
-        group_of = bucket_to_group(grouping.boundaries, bucket_of)
-        key = seg * r + group_of
-        order = stable_two_key_argsort(seg, group_of, p, r)
-        piece_values = dist.values[order]
-        piece_sizes = np.bincount(key, minlength=p * r).reshape(p, r).astype(
-            np.int64, copy=False
-        )
-        comm.charge_partition(sizes, max(2, nb))
-
-    # ------------------------------------------------------------------
-    # 3. Data delivery
-    # ------------------------------------------------------------------
-    groups = comm.split(r)
-    delivery = deliver_to_groups_flat(
-        comm,
-        groups,
-        piece_values,
-        piece_sizes,
-        method=config.delivery,
-        seed=comm.machine.seed + level + 1,
-        phase=PHASE_DATA_DELIVERY,
-        schedule=config.exchange_schedule,
-    )
-
-    # ------------------------------------------------------------------
-    # 4. Recursion within each group
-    # ------------------------------------------------------------------
-    if r == p:
-        # Every group is a single PE: the p recursive base cases collapse
-        # into one segmented sort.  Each base case would charge its PE's
-        # local-sort time independently, so one vectorised charge of the
-        # same per-PE values is bit-identical.
-        with comm.phase(PHASE_LOCAL_SORT):
-            out = delivery.received.sort_segments()
-            comm.charge_sort(delivery.received_sizes)
-        return out
-    if (
-        config.use_fast_sample_sort
-        and config.delivery != "advanced"
-        and all(
-            g.size == 1
-            or (
-                _next_level_r(_plan, level + 1, g.size) == g.size
-                and grid_shape(g.size).size == g.size
-            )
-            for g in groups
-        )
-    ):
-        # Every sub-group runs its *final* level next (r == p, full sample
-        # grid): execute all of them in lockstep instead of recursing.
-        return _ams_sort_last_level_batched(
-            comm, groups, delivery.received, config, level + 1, _n_total
-        )
-    parts: List[DistArray] = []
-    start_rank = 0
-    for group in groups:
-        sub = delivery.received.slice_segments(start_rank, start_rank + group.size)
-        parts.append(
-            _ams_sort_flat(
-                group, sub, config, level=level + 1, _plan=_plan, _n_total=_n_total
-            )
-        )
-        start_rank += group.size
-    return DistArray.concatenate(parts)
+    # All islands are singletons: the recursive base cases collapse into
+    # one segmented sort charged with every PE's own local-sort time.
+    with comm.phase(PHASE_LOCAL_SORT):
+        out = dist.sort_segments()
+        comm.charge_sort(dist.sizes())
+    return out
 
 
 def ams_sort(

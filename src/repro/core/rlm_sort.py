@@ -27,10 +27,12 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.blocks.delivery import deliver_to_groups, deliver_to_groups_flat
-from repro.blocks.multiselect import multisequence_select, multisequence_select_flat
+from repro.blocks.delivery import deliver_to_groups, deliver_to_groups_batched
+from repro.blocks.multiselect import multisequence_select, multisequence_select_batched
+from repro.core.ams_sort import _level_r, _level_result, _split_sizes
 from repro.core.config import RLMConfig
 from repro.dist.array import DistArray
+from repro.dist.flatops import concat_ranges, map_by_unique2
 from repro.machine.counters import (
     PHASE_BUCKET_PROCESSING,
     PHASE_DATA_DELIVERY,
@@ -38,6 +40,7 @@ from repro.machine.counters import (
     PHASE_SPLITTER_SELECTION,
 )
 from repro.seq.merge import merge_runs_numpy
+from repro.sim.groups import GroupBatch
 
 
 def rlm_sort_reference(
@@ -92,7 +95,14 @@ def rlm_sort_reference(
     with comm.phase(PHASE_SPLITTER_SELECTION):
         cumulative_pes = np.cumsum([g.size for g in groups])
         ranks = [int((n_total * int(c)) // p) for c in cumulative_pes[:-1]]
-        selection = multisequence_select(comm, local_sorted, ranks)
+        # Per-group pivot stream: sibling groups draw independently, which
+        # is what lets the flat engine run them in lockstep (the draws are
+        # identical either way because the stream only depends on
+        # (machine seed, level, first group PE)).
+        selection = multisequence_select(
+            comm, local_sorted, ranks,
+            rng=comm.machine.group_rng(level, comm.global_pe(0)),
+        )
 
     # ------------------------------------------------------------------
     # Build the r pieces per PE from the split positions
@@ -150,21 +160,133 @@ def rlm_sort_reference(
     return output
 
 
+def _rlm_level_batched(
+    comm,
+    dist: DistArray,
+    isl_offsets: np.ndarray,
+    config: RLMConfig,
+    level: int,
+    plan,
+) -> tuple:
+    """Run one RLM-sort recursion level for *all* islands in lockstep.
+
+    Mirrors :func:`repro.core.ams_sort._ams_level_batched`: the exact
+    multisequence selections of every island run as one batched pivot loop
+    (:func:`multisequence_select_batched`), the piece delivery of the whole
+    level is one :func:`deliver_to_groups_batched` call, and the
+    post-delivery multiway merges collapse into one segmented sort.
+    Singleton islands are already sorted and pass through untouched (their
+    base case charges nothing).
+    """
+    machine = comm.machine
+    spec = comm.spec
+    sizes_isl = np.diff(isl_offsets)
+    num_isl = int(sizes_isl.size)
+    active = np.flatnonzero(sizes_isl > 1)
+    n_act = int(active.size)
+    act_sizes = sizes_isl[active]
+    act_off = np.zeros(n_act + 1, dtype=np.int64)
+    np.cumsum(act_sizes, out=act_off[1:])
+    batch_ranks = concat_ranges(isl_offsets[active], act_sizes)
+    batch_members = comm.members[batch_ranks]
+    islands = GroupBatch(machine, batch_members, act_off)
+    dist_b = dist if n_act == num_isl else dist.take_segments(batch_ranks)
+    data_sizes = dist_b.sizes()
+
+    r_act = np.array(
+        [_level_r(plan, level, int(pk)) for pk in act_sizes], dtype=np.int64
+    )
+    sub_sizes = [
+        _split_sizes(int(act_sizes[k]), int(r_act[k])) for k in range(n_act)
+    ]
+
+    # ------------------------------------------------------------------
+    # 1. Splitter selection: exact multisequence selection, all islands in
+    #    lockstep with per-island replicated pivot streams
+    # ------------------------------------------------------------------
+    with comm.phase(PHASE_SPLITTER_SELECTION):
+        isl_totals = np.add.reduceat(data_sizes, act_off[:-1])
+        ranks_per_island = []
+        for k in range(n_act):
+            cum = np.cumsum(sub_sizes[k])
+            ranks_per_island.append([
+                int((int(isl_totals[k]) * int(c)) // int(act_sizes[k]))
+                for c in cum[:-1]
+            ])
+        rngs = [
+            machine.group_rng(level, int(batch_members[act_off[k]]))
+            for k in range(n_act)
+        ]
+        selections = multisequence_select_batched(
+            islands, dist_b, ranks_per_island, rngs
+        )
+
+    # ------------------------------------------------------------------
+    # 2. Pieces: consecutive slices of the sorted segments
+    # ------------------------------------------------------------------
+    piece_mats = []
+    for k in range(n_act):
+        pk = int(act_sizes[k])
+        bounds = np.vstack([
+            np.zeros((1, pk), dtype=np.int64),
+            selections[k].splits,
+            data_sizes[act_off[k]:act_off[k + 1]][None, :],
+        ])
+        piece_mats.append(np.diff(bounds, axis=0).T.astype(np.int64))
+
+    # ------------------------------------------------------------------
+    # 3. Data delivery for every island at once
+    # ------------------------------------------------------------------
+    delivery = deliver_to_groups_batched(
+        islands,
+        sub_sizes,
+        dist_b.values,
+        piece_mats,
+        method=config.delivery,
+        seed=machine.seed + level + 1,
+        phase=PHASE_DATA_DELIVERY,
+        schedule=config.exchange_schedule,
+    )
+    received = delivery.received
+
+    # ------------------------------------------------------------------
+    # 4. Bucket processing: one segmented sort merges all received runs
+    # ------------------------------------------------------------------
+    with comm.phase(PHASE_BUCKET_PROCESSING):
+        merged = received.sort_segments()
+        machine.advance_many(
+            batch_members,
+            map_by_unique2(
+                delivery.received_sizes,
+                np.maximum(2, delivery.nonempty_runs),
+                lambda m, w: spec.local_merge_time(m, w),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # 5. Next-level island layout (+ pass-through of singleton islands)
+    # ------------------------------------------------------------------
+    return _level_result(
+        dist, isl_offsets, active, batch_ranks, merged, sub_sizes
+    )
+
+
 def _rlm_sort_flat(
     comm,
     dist: DistArray,
     config: RLMConfig,
     level: int = 0,
-    _plan: Optional[List[int]] = None,
+    _plan=None,
     _presorted: bool = False,
 ) -> DistArray:
-    """One level of RLM-sort on the flat engine (whole-machine vectorised).
+    """RLM-sort on the flat engine: the whole recursion in lockstep.
 
-    Local sorting and the post-delivery multiway merge both become a single
-    segmented stable sort of the flat buffer; the exact splitting runs on
-    the flat multisequence selection, and the resulting pieces are already
-    contiguous slices of the sorted buffer, so piece extraction is pure
-    offset arithmetic.  All modelled charges match the per-PE reference.
+    The first-level local sort and every post-delivery multiway merge are
+    single segmented stable sorts of the flat buffer; the exact splitting of
+    all islands of a level runs as one batched multisequence selection, and
+    the piece delivery of a level is one whole-machine batch.  Deeper levels
+    receive data that is already locally sorted, so after the last level the
+    array is globally sorted and perfectly balanced.
     """
     p = comm.size
 
@@ -183,74 +305,16 @@ def _rlm_sort_flat(
 
     if _plan is None:
         _plan = config.plan_for(p)
-    if level < len(_plan):
-        r = min(int(_plan[level]), p)
-    else:
-        r = p
-    r = max(2, min(r, p))
 
-    n_total = local_sorted.total
-    sizes = local_sorted.sizes()
-    groups = comm.split(r)
-
-    # ------------------------------------------------------------------
-    # Splitter selection: exact multisequence selection
-    # ------------------------------------------------------------------
-    with comm.phase(PHASE_SPLITTER_SELECTION):
-        cumulative_pes = np.cumsum([g.size for g in groups])
-        ranks = [int((n_total * int(c)) // p) for c in cumulative_pes[:-1]]
-        selection = multisequence_select_flat(comm, local_sorted, ranks)
-
-    # ------------------------------------------------------------------
-    # Pieces: consecutive slices of the sorted segments (offset arithmetic)
-    # ------------------------------------------------------------------
-    bounds = np.vstack([
-        np.zeros((1, p), dtype=np.int64),
-        selection.splits,
-        sizes[None, :],
-    ])
-    piece_sizes = np.diff(bounds, axis=0).T.astype(np.int64)
-
-    # ------------------------------------------------------------------
-    # Data delivery
-    # ------------------------------------------------------------------
-    delivery = deliver_to_groups_flat(
-        comm,
-        groups,
-        local_sorted.values,
-        piece_sizes,
-        method=config.delivery,
-        seed=comm.machine.seed + level + 1,
-        phase=PHASE_DATA_DELIVERY,
-        schedule=config.exchange_schedule,
-    )
-
-    # ------------------------------------------------------------------
-    # Bucket processing: merge the received sorted runs on every PE
-    # ------------------------------------------------------------------
-    with comm.phase(PHASE_BUCKET_PROCESSING):
-        merged = delivery.received.sort_segments()
-        ways = np.maximum(2, delivery.nonempty_runs_per_pe())
-        comm.charge_merge(delivery.received_sizes, ways)
-
-    # ------------------------------------------------------------------
-    # Recursion within each group (data already locally sorted)
-    # ------------------------------------------------------------------
-    if r == p:
-        # Every group is a single already-sorted PE: the recursion would
-        # only copy each segment, so the level is done.
-        return merged
-    parts: List[DistArray] = []
-    start_rank = 0
-    for group in groups:
-        sub = merged.slice_segments(start_rank, start_rank + group.size)
-        parts.append(
-            _rlm_sort_flat(
-                group, sub, config, level=level + 1, _plan=_plan, _presorted=True
-            )
+    out = local_sorted
+    isl_offsets = np.array([0, p], dtype=np.int64)
+    cur_level = level
+    while int(np.diff(isl_offsets).max(initial=0)) > 1:
+        out, isl_offsets = _rlm_level_batched(
+            comm, out, isl_offsets, config, cur_level, _plan
         )
-        start_rank += group.size
-    return DistArray.concatenate(parts)
+        cur_level += 1
+    return out
 
 
 def rlm_sort(

@@ -23,7 +23,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.dist.flatops import segment_ids, segmented_sort_values
+from repro.dist.flatops import concat_ranges, segment_ids, segmented_sort_values
 
 
 class DistArray:
@@ -133,6 +133,22 @@ class DistArray:
         return DistArray(
             self.values[base:self.offsets[hi]], self.offsets[lo:hi + 1] - base
         )
+
+    def take_segments(self, idx: np.ndarray) -> "DistArray":
+        """Sub-array over an arbitrary (ascending or not) list of segments.
+
+        Segment ``k`` of the result is segment ``idx[k]`` of this array; the
+        values are gathered with one :func:`~repro.dist.flatops.concat_ranges`
+        indexing pass.  Unlike :meth:`slice_segments` this copies.
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size == 0:
+            raise ValueError("need at least one segment index")
+        if idx.min() < 0 or idx.max() >= self.p:
+            raise IndexError("segment index out of range")
+        sizes = self.sizes()[idx]
+        values = self.values[concat_ranges(self.offsets[idx], sizes)]
+        return DistArray.from_sizes(values, sizes)
 
     # ------------------------------------------------------------------
     # Conversion / transformation

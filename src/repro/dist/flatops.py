@@ -8,7 +8,7 @@ the exchange, delivery, partitioning and merging steps.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Tuple, Union
 
 import numpy as np
 
@@ -122,6 +122,184 @@ def segmented_sort_values(values: np.ndarray, offsets: np.ndarray) -> np.ndarray
         seg = seg.astype(np.int32, copy=False)
     order = np.lexsort((values, seg))
     return values[order]
+
+
+def segmented_searchsorted(
+    values: np.ndarray,
+    offsets: np.ndarray,
+    queries: np.ndarray,
+    query_seg: np.ndarray,
+    side: Union[str, np.ndarray] = "left",
+    lo: np.ndarray = None,
+    hi: np.ndarray = None,
+) -> np.ndarray:
+    """Insertion position of every query inside its own sorted segment.
+
+    ``values``/``offsets`` form a CSR layout whose segments are each sorted
+    in non-decreasing order; query ``k`` is looked up in segment
+    ``query_seg[k]``.  The result equals
+    ``np.searchsorted(values[offsets[s]:offsets[s+1]], queries[k], side)``
+    per query (positions are relative to the segment start), but all queries
+    advance together through one segmented binary search —
+    ``O(log max_segment_size)`` whole-batch vectorised bisection steps
+    instead of a Python loop over segments.
+
+    ``side`` is ``'left'``, ``'right'``, or a boolean array per query
+    (``True`` = right); the per-query form is the *two-sided* search the
+    multisequence selection uses, where the side depends on the position of
+    the queried segment relative to the pivot owner (Appendix D
+    tie-breaking).
+
+    ``lo``/``hi`` optionally restrict query ``k`` to the half-open window
+    ``[lo[k], hi[k])`` of its segment (positions relative to the segment
+    start).  Because the segment is sorted the result — clamped into
+    ``[lo[k], hi[k]]`` — is identical to clipping the full-segment position,
+    while the bisection only pays for the window size.
+    """
+    values = np.asarray(values)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    queries = np.asarray(queries)
+    query_seg = np.asarray(query_seg, dtype=np.int64)
+    if queries.shape != query_seg.shape or queries.ndim != 1:
+        raise ValueError("queries and query_seg must be equal-length 1-D arrays")
+    if query_seg.size and (
+        query_seg.min(initial=0) < 0 or query_seg.max(initial=0) >= offsets.size - 1
+    ):
+        raise IndexError("query segment index out of range")
+    if isinstance(side, str):
+        if side not in ("left", "right"):
+            raise ValueError("side must be 'left', 'right', or a boolean mask")
+        right = np.full(queries.shape, side == "right", dtype=bool)
+    else:
+        right = np.asarray(side, dtype=bool)
+        if right.shape != queries.shape:
+            raise ValueError("per-query side mask must match the query shape")
+    base = offsets[query_seg]
+    if lo is None:
+        cur_lo = base.copy()
+    else:
+        cur_lo = base + np.asarray(lo, dtype=np.int64)
+    if hi is None:
+        cur_hi = offsets[query_seg + 1].copy()
+    else:
+        cur_hi = base + np.asarray(hi, dtype=np.int64)
+    if cur_lo.size and (
+        np.any(cur_lo < base) or np.any(cur_hi > offsets[query_seg + 1])
+        or np.any(cur_lo > cur_hi)
+    ):
+        raise IndexError("search window out of segment range")
+    while True:
+        active = cur_lo < cur_hi
+        if not active.any():
+            break
+        mid = (cur_lo + cur_hi) >> 1
+        probe = values[np.where(active, mid, 0)]
+        go_right = np.where(right, probe <= queries, probe < queries) & active
+        cur_lo = np.where(go_right, mid + 1, cur_lo)
+        cur_hi = np.where(active & ~go_right, mid, cur_hi)
+    return cur_lo - base
+
+
+def blockwise_searchsorted(
+    values: np.ndarray,
+    offsets: np.ndarray,
+    queries: np.ndarray,
+    query_offsets: np.ndarray,
+    side: str = "left",
+) -> np.ndarray:
+    """Per-segment ``searchsorted`` for queries grouped by segment.
+
+    Segment ``s`` of the (individually sorted) CSR layout
+    ``values``/``offsets`` is probed with the query block
+    ``queries[query_offsets[s]:query_offsets[s+1]]``; positions are relative
+    to the segment start.  Semantically identical to
+    :func:`segmented_searchsorted` with ``query_seg`` expanded from
+    ``query_offsets``, but each block runs as one C-speed ``np.searchsorted``
+    — the right tool when there are *few* segments with *many* queries each
+    (e.g. bucketing every element of an island against that island's
+    splitters), whereas the segmented bisection wins for many segments with
+    few queries each.
+    """
+    values = np.asarray(values)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    queries = np.asarray(queries)
+    query_offsets = np.asarray(query_offsets, dtype=np.int64)
+    if query_offsets.size != offsets.size:
+        raise ValueError("need exactly one query block per segment")
+    if int(query_offsets[-1]) != queries.size:
+        raise ValueError("query_offsets must cover the query array")
+    out = np.empty(queries.size, dtype=np.int64)
+    for s in range(offsets.size - 1):
+        qlo, qhi = int(query_offsets[s]), int(query_offsets[s + 1])
+        if qhi == qlo:
+            continue
+        seg = values[offsets[s]:offsets[s + 1]]
+        if seg.size == 0:
+            out[qlo:qhi] = 0
+        else:
+            out[qlo:qhi] = np.searchsorted(seg, queries[qlo:qhi], side=side)
+    return out
+
+
+def ragged_bincount(
+    seg: np.ndarray, key: np.ndarray, key_offsets: np.ndarray
+) -> np.ndarray:
+    """Per-segment histograms with a per-segment number of bins, back to back.
+
+    Item ``k`` belongs to segment ``seg[k]`` and falls into that segment's
+    bin ``key[k]``; segment ``s`` owns ``key_offsets[s+1] - key_offsets[s]``
+    bins.  Returns a flat int64 array of ``key_offsets[-1]`` counts — the
+    concatenation of every segment's ``np.bincount``.  This is the
+    per-``(group, PE)`` reduction of the batched lockstep engine: global
+    bucket sizes per island, or piece sizes per ``(PE, destination group)``
+    when the group count varies across islands.
+    """
+    seg = np.asarray(seg, dtype=np.int64)
+    key = np.asarray(key, dtype=np.int64)
+    key_offsets = np.asarray(key_offsets, dtype=np.int64)
+    if seg.shape != key.shape:
+        raise ValueError("seg and key must have the same shape")
+    if seg.size:
+        widths = np.diff(key_offsets)
+        if key.min(initial=0) < 0 or np.any(key >= widths[seg]):
+            raise IndexError("bin index out of range for its segment")
+    counts = np.bincount(key_offsets[seg] + key, minlength=int(key_offsets[-1]))
+    return counts.astype(np.int64, copy=False)
+
+
+def map_by_unique(values: np.ndarray, fn) -> np.ndarray:
+    """Apply a scalar ``fn`` to every element, evaluating once per distinct value.
+
+    The per-PE modelled-cost vectors of the lockstep engine are built from
+    scalar cost functions (``local_sort_time`` etc.) whose results must stay
+    bit-identical to the per-PE reference loops; memoising by distinct input
+    keeps the exact scalar code path while reducing ``p`` Python calls to
+    one per distinct size (per-PE sizes cluster heavily after delivery).
+    """
+    values = np.asarray(values)
+    uniq, inverse = np.unique(values, return_inverse=True)
+    out = np.array([fn(x) for x in uniq.tolist()], dtype=np.float64)
+    return out[inverse]
+
+
+def map_by_unique2(a: np.ndarray, b: np.ndarray, fn) -> np.ndarray:
+    """Two-argument :func:`map_by_unique`: ``fn(a[i], b[i])`` memoised by pair.
+
+    Encodes the pairs into single integers (``b`` must be non-negative) so
+    the per-PE ``(size, fan-in)`` cost vectors of the lockstep engine reuse
+    one scalar evaluation per distinct pair; the encode/decode lives here so
+    call sites cannot get the bound arithmetic subtly wrong.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.shape != b.shape:
+        raise ValueError("paired arrays must have the same shape")
+    if b.size and b.min() < 0:
+        raise ValueError("second key must be non-negative")
+    bound = int(b.max(initial=0)) + 1
+    return map_by_unique(
+        a * bound + b, lambda key: fn(int(key) // bound, int(key) % bound)
+    )
 
 
 def split_intervals(

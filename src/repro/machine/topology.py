@@ -19,6 +19,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 
 class Topology:
     """Abstract base class for network topologies of ``p`` PEs."""
@@ -57,6 +59,18 @@ class Topology:
         # the maximum distance.
         return self.distance_level(lo, hi)
 
+    def distance_levels(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`distance_level` over PE index pairs.
+
+        Identical results to the scalar method; the lockstep engine uses it
+        to price thousands of sub-groups at once.  Subclasses override it
+        with pure array arithmetic.
+        """
+        return np.array(
+            [self.distance_level(int(x), int(y)) for x, y in zip(a, b)],
+            dtype=np.int64,
+        )
+
     def natural_group_sizes(self) -> List[int]:
         """Sizes of the natural hierarchy units, innermost first.
 
@@ -85,6 +99,9 @@ class FlatTopology(Topology):
         self.validate_pe(a)
         self.validate_pe(b)
         return 0
+
+    def distance_levels(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.zeros(np.asarray(a).shape, dtype=np.int64)
 
     def natural_group_sizes(self) -> List[int]:
         return []
@@ -138,6 +155,13 @@ class HierarchicalTopology(Topology):
         if ca.node != cb.node:
             return 1
         return 0
+
+    def distance_levels(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        same_island = (a // self.cores_per_island) == (b // self.cores_per_island)
+        same_node = (a // self.cores_per_node) == (b // self.cores_per_node)
+        return np.where(same_island, np.where(same_node, 0, 1), 2).astype(np.int64)
 
     def natural_group_sizes(self) -> List[int]:
         sizes: List[int] = []

@@ -8,6 +8,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.dist.array import DistArray
+from repro.dist.flatops import map_by_unique, map_by_unique2
 from repro.machine.counters import PhaseTimer
 from repro.sim.exchange import (
     ExchangeResult,
@@ -113,20 +114,28 @@ class Comm:
 
     def charge_sort(self, sizes: Sequence[int]) -> None:
         """Charge a local sort of ``sizes[i]`` elements on each member."""
-        self.charge_local_many([self.spec.local_sort_time(int(m)) for m in sizes])
+        self.charge_local_many(
+            map_by_unique(np.asarray(sizes), lambda m: self.spec.local_sort_time(int(m)))
+        )
 
     def charge_merge(self, sizes: Sequence[int], ways: Sequence[int] | int) -> None:
         """Charge a local multiway merge on each member."""
         if np.isscalar(ways):
             ways = [int(ways)] * self.size
         self.charge_local_many(
-            [self.spec.local_merge_time(int(m), int(w)) for m, w in zip(sizes, ways)]
+            map_by_unique2(
+                np.asarray(sizes), np.asarray(ways),
+                lambda m, w: self.spec.local_merge_time(m, w),
+            )
         )
 
     def charge_partition(self, sizes: Sequence[int], buckets: int) -> None:
         """Charge a local multi-splitter partition on each member."""
         self.charge_local_many(
-            [self.spec.local_partition_time(int(m), int(buckets)) for m in sizes]
+            map_by_unique(
+                np.asarray(sizes),
+                lambda m: self.spec.local_partition_time(int(m), int(buckets)),
+            )
         )
 
     def barrier(self) -> float:

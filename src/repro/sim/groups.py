@@ -57,16 +57,9 @@ class GroupBatch:
         """Topology level of every group (cached; same as ``Comm.level``)."""
         if self._levels is None:
             topo = self.machine.topology
-            starts = self.offsets[:-1]
-            ends = self.offsets[1:] - 1
-            self._levels = np.array(
-                [
-                    topo.max_distance_level(
-                        [int(self.members[s]), int(self.members[e])]
-                    )
-                    for s, e in zip(starts, ends)
-                ],
-                dtype=np.int64,
+            self._levels = topo.distance_levels(
+                self.members[self.offsets[:-1]],
+                self.members[self.offsets[1:] - 1],
             )
         return self._levels
 
@@ -122,15 +115,25 @@ class GroupBatch:
         self.synchronize()
         cost = self.machine.cost
         levels = self.levels()
-        times = [
-            cost.collective_time(
+        # The scalar cost formula is evaluated through the exact same code
+        # path as the reference engine; groups of one level are mostly
+        # identical (size, words, level, rounds), so memoise per signature.
+        cache: dict = {}
+        times = []
+        for g in range(self.num_groups):
+            key = (
                 int(self.sizes[g]),
-                words=max(int(words[g]), 0),
-                level=int(levels[g]),
-                rounds_factor=1.0 if rounds_factors is None else float(rounds_factors[g]),
+                max(int(words[g]), 0),
+                int(levels[g]),
+                1.0 if rounds_factors is None else float(rounds_factors[g]),
             )
-            for g in range(self.num_groups)
-        ]
+            t = cache.get(key)
+            if t is None:
+                t = cost.collective_time(
+                    key[0], words=key[1], level=key[2], rounds_factor=key[3]
+                )
+                cache[key] = t
+            times.append(t)
         self.advance(times)
         self.machine.counters.record_collective(self.members)
 

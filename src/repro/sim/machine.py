@@ -114,6 +114,29 @@ class SimulatedMachine:
             self._pe_rngs[pe] = gen
         return gen
 
+    def group_rng(self, level: int, root_pe: int) -> np.random.Generator:
+        """Deterministic random stream replicated within one PE group.
+
+        Used for decisions a *sub-group* of the machine makes identically on
+        all of its members (e.g. the shared random pivots of a multisequence
+        selection at recursion level ``level`` in the group whose first PE is
+        ``root_pe``).  Unlike :attr:`rng` the stream depends only on
+        ``(machine seed, level, root_pe)``, never on what other groups have
+        drawn before — which is what lets the lockstep engine run all
+        sibling groups of a recursion level as one batch while remaining
+        byte-identical to the group-by-group reference execution.  A fresh
+        generator is returned on every call.
+        """
+        if not 0 <= root_pe < self.p:
+            raise IndexError(f"PE index {root_pe} out of range")
+        if level < 0:
+            raise ValueError("level must be non-negative")
+        return np.random.default_rng(
+            (self.seed + 1) * 2_147_483_629
+            + (level + 1) * 15_485_863
+            + root_pe
+        )
+
     # ------------------------------------------------------------------
     # Clock management
     # ------------------------------------------------------------------

@@ -4,9 +4,15 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.blocks.multiselect import multisequence_select
+from repro.blocks.multiselect import (
+    multisequence_select,
+    multisequence_select_batched,
+    multisequence_select_flat,
+)
+from repro.dist.array import DistArray
 from repro.machine.spec import laptop_like
 from repro.seq.select import split_positions_are_consistent
+from repro.sim.groups import GroupBatch
 from repro.sim.machine import SimulatedMachine
 
 
@@ -108,7 +114,9 @@ class TestMultisequenceSelect:
         st.integers(0, 8),
     )
     @settings(max_examples=40, deadline=None)
-    def test_property_exact_and_consistent(self, p, sizes, seed, key_range_exp):
+    def test_property_exact_and_consistent_flat_and_reference(
+        self, p, sizes, seed, key_range_exp
+    ):
         p = min(p, len(sizes))
         sizes = sizes[:p]
         high = 2 ** key_range_exp + 1  # small ranges force many duplicates
@@ -121,3 +129,113 @@ class TestMultisequenceSelect:
         for t, k in enumerate(ranks):
             assert int(result.splits[t].sum()) == k
             assert split_positions_are_consistent(data, result.splits[t])
+        # The segmented flat engine must match the reference bit for bit.
+        comm2 = make_comm(p)
+        flat = multisequence_select_flat(
+            comm2, DistArray.from_list([d.copy() for d in data]), ranks
+        )
+        assert np.array_equal(flat.splits, result.splits)
+        assert flat.iterations == result.iterations
+
+
+def _splits_and_machine(data, ranks, via):
+    p = len(data)
+    machine = SimulatedMachine(p, spec=laptop_like(), seed=3)
+    if via == "reference":
+        res = multisequence_select(
+            machine.world(), [d.copy() for d in data], ranks
+        )
+    elif via == "flat":
+        res = multisequence_select_flat(
+            machine.world(), DistArray.from_list([d.copy() for d in data]), ranks
+        )
+    else:
+        islands = GroupBatch(
+            machine, np.arange(p, dtype=np.int64),
+            np.array([0, p], dtype=np.int64),
+        )
+        res = multisequence_select_batched(
+            islands, DistArray.from_list([d.copy() for d in data]),
+            [ranks], [machine.rng],
+        )[0]
+    return res, machine
+
+
+class TestMultiselectDuplicateBoundaries:
+    """Pivot on a duplicate run spanning a PE boundary (piece boundaries).
+
+    With all-equal keys every pivot lands inside one machine-wide run of
+    duplicates, so a two-sided *value* search alone cannot place the split:
+    on the pivot-owning PE, all equal elements right of the pivot position
+    would be counted too, the committed left parts would overshoot the
+    requested rank, and the piece sizes derived from consecutive splits
+    would go negative.  Only the Appendix D position-based count on the
+    owner keeps the implicit ``(value, PE, position)`` key exact.  These
+    tests were written against the segmented rewrite first and fail on any
+    variant that drops the owner-position override.
+    """
+
+    @pytest.mark.parametrize("via", ["reference", "flat", "batched"])
+    def test_all_equal_across_pes(self, via):
+        data = [np.full(10, 7) for _ in range(4)]
+        ranks = [5, 13, 25, 33]  # every split falls strictly inside a PE run
+        res, _ = _splits_and_machine(data, ranks, via)
+        for t, k in enumerate(ranks):
+            assert int(res.splits[t].sum()) == k
+        # Composite-key prefixes are unique, so splits fill PEs left to
+        # right and successive piece boundaries never cross.
+        assert np.all(np.diff(res.splits, axis=0) >= 0)
+        for t, k in enumerate(ranks):
+            expect = np.clip(k - np.arange(4) * 10, 0, 10)
+            assert np.array_equal(res.splits[t], expect)
+
+    @pytest.mark.parametrize("via", ["reference", "flat", "batched"])
+    def test_near_all_equal_run_spans_boundary(self, via):
+        # One run of 7s spans the boundary between PE 1 and PE 2.
+        data = [
+            np.array([1, 2, 7, 7]),
+            np.array([7, 7, 7, 7]),
+            np.array([7, 7, 9, 9]),
+            np.array([7, 8, 8, 8]),
+        ]
+        ranks = [3, 6, 9, 12]
+        res, _ = _splits_and_machine(data, ranks, via)
+        for t, k in enumerate(ranks):
+            assert int(res.splits[t].sum()) == k
+            assert split_positions_are_consistent(data, res.splits[t])
+        assert np.all(np.diff(res.splits, axis=0) >= 0)
+
+    def test_flat_and_batched_match_reference_on_duplicates(self):
+        rng = np.random.default_rng(5)
+        for trial in range(25):
+            p = int(rng.integers(2, 6))
+            high = int(rng.integers(1, 3))  # at most two distinct keys
+            data = [
+                np.sort(rng.integers(0, high + 1, size=int(rng.integers(0, 15))))
+                for _ in range(p)
+            ]
+            total = int(sum(d.size for d in data))
+            ranks = sorted(
+                int(x) for x in rng.integers(0, total + 1, size=3)
+            )
+            ref, m_ref = _splits_and_machine(data, ranks, "reference")
+            for via in ("flat", "batched"):
+                got, m = _splits_and_machine(data, ranks, via)
+                assert np.array_equal(got.splits, ref.splits), (trial, via)
+                assert got.iterations == ref.iterations, (trial, via)
+                assert np.array_equal(m.clock, m_ref.clock), (trial, via)
+
+    @pytest.mark.parametrize("via", ["flat", "batched"])
+    def test_piece_sizes_from_duplicate_splits_are_valid(self, via):
+        """Consecutive splits delimit non-negative piece sizes (RLM pieces)."""
+        data = [np.full(8, 1) for _ in range(5)]
+        ranks = [8, 16, 24, 32]
+        res, _ = _splits_and_machine(data, ranks, via)
+        sizes = np.array([d.size for d in data])
+        bounds = np.vstack([
+            np.zeros((1, 5), dtype=np.int64), res.splits, sizes[None, :]
+        ])
+        assert np.all(np.diff(bounds, axis=0) >= 0)
+        for pe in range(5):
+            slices = res.pieces_for_pe(pe, int(sizes[pe]))
+            assert sum(s.stop - s.start for s in slices) == int(sizes[pe])

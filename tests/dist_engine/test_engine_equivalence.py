@@ -119,6 +119,74 @@ class TestAMSEquivalence:
         )
 
 
+class TestAMSMultiLevelEquivalence:
+    """Pins for the *intermediate* recursion levels of the lockstep engine.
+
+    Three or more levels force at least one level whose islands split into
+    multi-PE sub-groups (the final level only produces singletons), so these
+    configurations exercise the batched intermediate-level path — sampling,
+    grid sample sort (including the off-grid hand-off of non-square
+    islands), bucket grouping and multi-PE-group delivery — not just the
+    final level that PR 1 already ran in lockstep.
+    """
+
+    @pytest.mark.parametrize("p,levels", [(16, 3), (24, 3), (27, 3), (64, 4)])
+    def test_three_plus_levels(self, p, levels):
+        data = random_data(p, 120, p * levels)
+        config = AMSConfig(levels=levels, node_size=2)
+        assert_engines_identical(
+            ams_sort, ams_sort_reference, p, data, 11, config=config
+        )
+
+    @pytest.mark.parametrize(
+        "delivery", ["naive", "randomized", "deterministic", "advanced"]
+    )
+    def test_delivery_methods_three_levels(self, delivery):
+        data = random_data(18, 150, 21)
+        config = AMSConfig(levels=3, node_size=2, delivery=delivery)
+        assert_engines_identical(
+            ams_sort, ams_sort_reference, 18, data, 21, config=config
+        )
+
+    def test_centralized_splitters_three_levels(self):
+        data = random_data(16, 100, 5)
+        config = AMSConfig(levels=3, node_size=2, use_fast_sample_sort=False)
+        assert_engines_identical(
+            ams_sort, ams_sort_reference, 16, data, 5, config=config
+        )
+
+    def test_dense_schedule_three_levels(self):
+        data = random_data(12, 90, 6)
+        config = AMSConfig(levels=3, node_size=2, exchange_schedule="dense")
+        assert_engines_identical(
+            ams_sort, ams_sort_reference, 12, data, 6, config=config
+        )
+
+    def test_explicit_uneven_group_plan(self):
+        # Odd factors produce non-power-of-two islands whose sample-sort
+        # grids do not cover all PEs (hand-off exchanges at every level).
+        data = random_data(18, 100, 8)
+        config = AMSConfig(levels=3, group_plan=[3, 3, 2])
+        assert_engines_identical(
+            ams_sort, ams_sort_reference, 18, data, 8, config=config
+        )
+
+    def test_supermuc_three_levels(self):
+        data = random_data(64, 60, 9)
+        assert_engines_identical(
+            ams_sort, ams_sort_reference, 64, data, 9,
+            spec=supermuc_like(), config=AMSConfig(levels=3, node_size=4),
+        )
+
+    def test_duplicate_heavy_multi_level(self):
+        rng = np.random.default_rng(13)
+        data = [np.full(rng.integers(0, 40), 7) for _ in range(14)]
+        config = AMSConfig(levels=3, node_size=2)
+        assert_engines_identical(
+            ams_sort, ams_sort_reference, 14, data, 13, config=config
+        )
+
+
 class TestRLMEquivalence:
     @given(
         st.integers(2, 16),
@@ -140,6 +208,58 @@ class TestRLMEquivalence:
         config = RLMConfig(levels=2, node_size=4, delivery=delivery)
         assert_engines_identical(
             rlm_sort, rlm_sort_reference, 12, data, 13, config=config
+        )
+
+
+class TestRLMMultiLevelEquivalence:
+    """Pins for RLM-sort's batched intermediate levels and multiselects.
+
+    With three levels every level but the last runs many sibling islands,
+    so the batched multisequence selection (per-island pivot streams,
+    whole-batch window counting) and the batched delivery/merge must match
+    the island-by-island reference byte for byte.
+    """
+
+    @pytest.mark.parametrize("p,levels", [(16, 3), (18, 3), (27, 3), (32, 4)])
+    def test_three_plus_levels(self, p, levels):
+        data = random_data(p, 90, p + levels)
+        config = RLMConfig(levels=levels, node_size=2)
+        assert_engines_identical(
+            rlm_sort, rlm_sort_reference, p, data, 17, config=config
+        )
+
+    @pytest.mark.parametrize(
+        "delivery", ["naive", "randomized", "deterministic", "advanced"]
+    )
+    def test_delivery_methods_three_levels(self, delivery):
+        data = random_data(12, 100, 19)
+        config = RLMConfig(levels=3, node_size=2, delivery=delivery)
+        assert_engines_identical(
+            rlm_sort, rlm_sort_reference, 12, data, 19, config=config
+        )
+
+    def test_duplicate_heavy_multi_level(self):
+        # All-equal keys make every multiselect pivot land on a duplicate
+        # run spanning PE boundaries at every level.
+        rng = np.random.default_rng(23)
+        data = [np.full(rng.integers(0, 40), 3) for _ in range(12)]
+        config = RLMConfig(levels=3, node_size=2)
+        assert_engines_identical(
+            rlm_sort, rlm_sort_reference, 12, data, 23, config=config
+        )
+
+    def test_dense_schedule_three_levels(self):
+        data = random_data(12, 80, 29)
+        config = RLMConfig(levels=3, node_size=2, exchange_schedule="dense")
+        assert_engines_identical(
+            rlm_sort, rlm_sort_reference, 12, data, 29, config=config
+        )
+
+    def test_supermuc_three_levels(self):
+        data = random_data(64, 50, 31)
+        assert_engines_identical(
+            rlm_sort, rlm_sort_reference, 64, data, 31,
+            spec=supermuc_like(), config=RLMConfig(levels=3, node_size=4),
         )
 
 

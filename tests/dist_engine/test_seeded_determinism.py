@@ -1,0 +1,76 @@
+"""Seeded-determinism regression: same seed, same machine, same everything.
+
+The lockstep engine derives all randomness from deterministic streams (the
+machine's replicated generator, per-PE generators, per-group pivot streams
+and seeded Feistel permutations).  Two runs with the same seed must
+therefore produce identical outputs, clocks, phase breakdowns and traffic
+counters — on the flat engine, on the reference engine, and across the two.
+A regression here would mean some state leaked between runs (cached RNGs,
+mutated inputs) or a nondeterministic code path slipped into the engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AMSConfig, RLMConfig
+from repro.core.runner import run_on_machine
+from repro.machine.spec import laptop_like
+from repro.sim.machine import SimulatedMachine
+
+P_VALUES = (16, 64, 256)
+
+
+def _run(p, algorithm, config, engine, seed=7):
+    rng = np.random.default_rng(1234)
+    data = [
+        rng.integers(0, 10_000, size=rng.integers(0, 200)) for _ in range(p)
+    ]
+    machine = SimulatedMachine(p, spec=laptop_like(), seed=seed)
+    result = run_on_machine(
+        machine, [d.copy() for d in data], algorithm=algorithm,
+        config=config, engine=engine, validate=False,
+    )
+    return result, machine
+
+
+def _assert_identical_runs(p, algorithm, config):
+    runs = {}
+    for engine in ("flat", "reference"):
+        runs[engine] = [_run(p, algorithm, config, engine) for _ in range(2)]
+
+    # Same engine, same seed, run twice: byte-identical everything.
+    for engine, ((r1, m1), (r2, m2)) in runs.items():
+        for a, b in zip(r1.output, r2.output):
+            assert np.array_equal(a, b), f"{engine} outputs differ between runs"
+        assert np.array_equal(m1.clock, m2.clock), f"{engine} clocks differ"
+        assert r1.phase_times == r2.phase_times
+        assert r1.traffic == r2.traffic
+
+    # And across the two engines.
+    (rf, mf), _ = runs["flat"]
+    (rr, mr), _ = runs["reference"]
+    for a, b in zip(rf.output, rr.output):
+        assert np.array_equal(a, b), "engines disagree on outputs"
+    assert np.array_equal(mf.clock, mr.clock), "engines disagree on clocks"
+    assert rf.phase_times == rr.phase_times
+    assert rf.traffic == rr.traffic
+
+
+@pytest.mark.parametrize("p", P_VALUES)
+def test_ams_seeded_determinism(p):
+    _assert_identical_runs(p, "ams", AMSConfig(levels=3, node_size=4))
+
+
+@pytest.mark.parametrize("p", P_VALUES)
+def test_rlm_seeded_determinism(p):
+    _assert_identical_runs(p, "rlm", RLMConfig(levels=3, node_size=4))
+
+
+@pytest.mark.parametrize("p", P_VALUES)
+def test_different_seeds_still_sort(p):
+    """Different machine seeds change the modelled run, never the sorted data."""
+    (r1, _), (r2, _) = _run(p, "ams", AMSConfig(levels=2), "flat", seed=1), \
+        _run(p, "ams", AMSConfig(levels=2), "flat", seed=2)
+    a = np.concatenate([np.asarray(x) for x in r1.output])
+    b = np.concatenate([np.asarray(x) for x in r2.output])
+    assert np.array_equal(a, b)
