@@ -23,6 +23,7 @@ from repro.blocks.feistel import FeistelPermutation, pseudorandom_permutation
 from repro.blocks.sampling import (
     SamplingParams,
     draw_local_sample,
+    draw_samples,
     draw_samples_flat,
     default_oversampling,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "pseudorandom_permutation",
     "SamplingParams",
     "draw_local_sample",
+    "draw_samples",
     "draw_samples_flat",
     "default_oversampling",
     "multisequence_select",

@@ -47,7 +47,12 @@ import numpy as np
 
 from repro.blocks.feistel import FeistelPermutation
 from repro.dist.array import DistArray
-from repro.dist.flatops import concat_ranges, split_intervals, stable_two_key_argsort
+from repro.dist.flatops import (
+    concat_ranges,
+    split_intervals,
+    stable_key_argsort,
+    stable_two_key_argsort,
+)
 from repro.machine.counters import PHASE_DATA_DELIVERY
 from repro.sim.exchange import ExchangeResult, FlatExchangeResult, FlatMessages
 
@@ -571,6 +576,10 @@ def _flat_assign_deterministic(
     group_loads = sizes.sum(axis=0)
     capacities = np.zeros(r, dtype=np.int64)
     threshold = max(1, total // (2 * p * r)) if total > 0 else 1
+    # Column-major copies: the per-group loop reads whole columns, which
+    # would otherwise be strided passes over the (p, r) matrices.
+    sizes_t = np.ascontiguousarray(sizes.T)
+    starts_t = np.ascontiguousarray(piece_starts.T)
     parts: List[np.ndarray] = []
     for j in range(r):
         m_j = int(group_loads[j])
@@ -580,7 +589,7 @@ def _flat_assign_deterministic(
             capacities[j] = 0
             continue
         cap = int(math.ceil(m_j / p_g))
-        psj = sizes[:, j]
+        psj = sizes_t[j]
         small = np.flatnonzero((psj > 0) & (psj <= threshold))
         large = np.flatnonzero(psj > threshold)
 
@@ -592,7 +601,7 @@ def _flat_assign_deterministic(
             )
             np.add.at(load, pe_small, psj[small])
             parts.append(np.stack([
-                small, group_start + pe_small, piece_starts[small, j], psj[small],
+                small, group_start + pe_small, starts_t[j][small], psj[small],
             ]))
 
         # Phase 2: large pieces fill the residual capacities.
@@ -616,7 +625,7 @@ def _flat_assign_deterministic(
                 np.searchsorted(res_prefix, abs_start, side="right") - 1, p_g - 1
             )
             parts.append(np.stack([
-                src, group_start + pe, piece_starts[src, j] + off, lengths,
+                src, group_start + pe, starts_t[j][src] + off, lengths,
             ]))
     return parts, group_loads, capacities
 
@@ -899,13 +908,14 @@ class BatchedDeliveryResult:
 def deliver_to_groups_batched(
     islands,
     subgroup_sizes: Sequence[np.ndarray],
-    piece_values: np.ndarray,
+    piece_values: Optional[np.ndarray],
     piece_sizes: Sequence[np.ndarray],
     method: str = "deterministic",
     seed: int = 0,
     oversplit: Optional[float] = None,
     phase: str = PHASE_DATA_DELIVERY,
     schedule: str = "sparse",
+    elem_plane: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> BatchedDeliveryResult:
     """Run the data deliveries of all islands of one recursion level at once.
 
@@ -926,13 +936,29 @@ def deliver_to_groups_batched(
         (island-local, summing to the island size).
     piece_values:
         One flat buffer holding every batch PE's pieces in
-        ``(batch PE, destination group)`` order.
+        ``(batch PE, destination group)`` order.  May be ``None`` when
+        ``elem_plane`` is given and the fused element path applies (every
+        destination group a singleton, method not ``'advanced'``).
     piece_sizes:
         Per island, the ``(p_k, r_k)`` piece-size matrix.
     method, seed, oversplit, phase, schedule:
         As for :func:`deliver_to_groups_flat`; the per-group pseudorandom
         permutation seeds restart at every island exactly like the
         per-island reference calls.
+    elem_plane:
+        Optional ``(values, elem_dest)`` pair for the fused element-level
+        data plane: ``values`` are the batch elements in original
+        ``(batch PE, local order)`` layout and ``elem_dest`` the batch rank
+        every element is delivered to.  When every piece is one whole
+        message (all destination groups singletons, non-``advanced``
+        method), the received layout — runs ordered by (receiver, source,
+        send order) — equals one stable argsort of ``elem_dest``, because
+        elements are stored by (source, original order) and each
+        (source, receiver) pair carries at most one message.  That replaces
+        the piece reorder, the message index build and the reassembly
+        gather of the piece-space path with a single radix argsort plus one
+        gather; the charged costs are identical (they only depend on the
+        piece sizes).
     """
     if method not in DELIVERY_METHODS:
         raise ValueError(f"unknown delivery method {method!r}; choose from {DELIVERY_METHODS}")
@@ -942,7 +968,12 @@ def deliver_to_groups_batched(
     n_isl = islands.num_groups
     if len(subgroup_sizes) != n_isl or len(piece_sizes) != n_isl:
         raise ValueError("need one sub-group layout and piece matrix per island")
-    piece_values = np.asarray(piece_values)
+    if piece_values is None:
+        piece_values = np.empty(0, dtype=np.float64)  # fused path sentinel
+        if elem_plane is None:
+            raise ValueError("piece_values may only be omitted with elem_plane")
+    else:
+        piece_values = np.asarray(piece_values)
     isl_off = islands.offsets
     p_k = islands.sizes
     pe_isl = np.repeat(np.arange(n_isl, dtype=np.int64), p_k)
@@ -955,7 +986,15 @@ def deliver_to_groups_batched(
             raise ValueError("piece matrix does not match the island layout")
         r_k[k] = sizes_k.shape[1]
         block_base[k + 1] = block_base[k] + int(sizes_k.sum())
-    if int(block_base[-1]) != piece_values.size:
+    fused = (
+        elem_plane is not None
+        and method != "advanced"
+        and bool(np.all(r_k == p_k))
+    )
+    if fused:
+        if int(block_base[-1]) != np.asarray(elem_plane[0]).size:
+            raise ValueError("elem_plane values do not match piece_sizes")
+    elif int(block_base[-1]) != piece_values.size:
         raise ValueError("piece_values size does not match piece_sizes")
 
     flat_sizes = (
@@ -1122,8 +1161,16 @@ def deliver_to_groups_batched(
 
         # Assemble the received DistArray from all runs (network + kept),
         # ordered by (receiver, source, send order) as in the reference.
-        order = stable_two_key_argsort(dest, src, q, q)
-        recv_values = piece_values[concat_ranges(start[order], length[order])]
+        # In the fused element plane (all pieces whole messages) that order
+        # is one stable argsort of the per-element destination; otherwise
+        # messages are gathered out of the piece-space buffer.
+        if fused:
+            elem_values, elem_dest = elem_plane
+            eorder = stable_key_argsort(np.asarray(elem_dest), q)
+            recv_values = np.asarray(elem_values)[eorder]
+        else:
+            order = stable_two_key_argsort(dest, src, q, q)
+            recv_values = piece_values[concat_ranges(start[order], length[order])]
         received_sizes = np.bincount(
             dest, weights=length, minlength=q
         ).astype(np.int64)

@@ -111,7 +111,8 @@ def group_sizes_from_boundaries(
 
 
 def _scan_observing(
-    sizes: np.ndarray, num_groups: int, bound: int
+    sizes: np.ndarray, num_groups: int, bound: int,
+    clist: Optional[List[int]] = None,
 ) -> Tuple[Optional[np.ndarray], int, int]:
     """Scan that also reports the Appendix C bound-update values.
 
@@ -121,11 +122,15 @@ def _scan_observing(
     the smallest value ``x + y`` observed when a bucket of size ``y`` did not
     fit on top of a group of size ``x`` (valid on failure; any bound below it
     reproduces the same failed partition, so it becomes the new lower bound).
+
+    ``clist`` optionally supplies the bucket-size prefix sums (as a plain
+    list), so the bound search does not recompute them on every probe.
     """
     m = int(sizes.size)
-    csum = np.zeros(m + 1, dtype=np.int64)
-    np.cumsum(sizes, out=csum[1:])
-    clist = csum.tolist()
+    if clist is None:
+        csum = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(sizes, out=csum[1:])
+        clist = csum.tolist()
     boundaries = [0]
     largest = 0
     min_overflow = np.iinfo(np.int64).max
@@ -223,11 +228,16 @@ def optimal_bucket_grouping(
             else:
                 lo = mid + 1
     elif method == "accelerated":
+        csum = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=csum[1:])
+        clist = csum.tolist()
         lo, hi = lower, upper
         while lo <= hi:
             mid = (lo + hi) // 2
             scan_calls += 1
-            boundaries, largest, min_overflow = _scan_observing(sizes, num_groups, mid)
+            boundaries, largest, min_overflow = _scan_observing(
+                sizes, num_groups, mid, clist
+            )
             if boundaries is not None:
                 best = boundaries
                 best_bound = largest  # tighten to the largest group actually used

@@ -13,17 +13,28 @@ parameters:
 The paper's experiments use ``b = 16`` and ``a = 1.6 * log10(n)``
 (Section 7.2); Figure 10/11 sweep ``a`` and ``b``.  The helpers here
 reproduce that parameterisation and draw the per-PE samples.
+
+Since PR 3 the sample positions come from the machine's counter-based RNG
+(:class:`~repro.dist.ctr_rng.CounterRNG`): position ``j`` of PE ``i`` at
+recursion level ``l`` is ``philox(seed, l, i, j) mod local_size`` — drawn
+with replacement, one vectorised call for the whole machine per level, and
+byte-identical between the flat engine and the per-PE reference because the
+draw depends only on its coordinates.  :func:`draw_local_sample` remains as
+the legacy ``np.random.Generator`` utility for callers outside the engine
+hot path.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Union
 
 import numpy as np
 
 from repro.dist.array import DistArray
+from repro.dist.ctr_rng import CounterRNG
+from repro.dist.flatops import concat_ranges
 
 
 def default_oversampling(n_total: int) -> float:
@@ -126,40 +137,100 @@ def draw_local_sample(
     return values[idx].copy()
 
 
+def draw_samples_flat(
+    data: DistArray,
+    counts: Union[int, np.ndarray],
+    rng: CounterRNG,
+    level: int,
+    pes: np.ndarray,
+) -> DistArray:
+    """Counter-RNG sample drawing for a whole machine (or batch) at once.
+
+    This is the *single* sampling code path of both engines: PE segment
+    ``i`` of ``data`` contributes ``counts[i]`` elements drawn uniformly
+    (with replacement) at the positions
+
+        ``rng.integers(level, pes[i], j, segment_size_i)``  for ``j < counts[i]``
+
+    — a pure function of ``(machine seed, level, global PE, draw index)``,
+    so the whole batch is one vectorised Philox call plus one gather, with
+    no per-PE loop, and a per-PE invocation (``data`` restricted to one
+    segment) yields byte-identical values.  Empty segments contribute empty
+    samples.
+
+    Parameters
+    ----------
+    data:
+        The distributed values to sample from.
+    counts:
+        Samples per segment (scalar or one entry per segment).
+    rng:
+        The machine's :attr:`~repro.sim.machine.SimulatedMachine.sample_rng`.
+    level:
+        Recursion level (stream selector).
+    pes:
+        Global PE index of every segment (stream selector); for a
+        whole-machine draw this is ``comm.members``.
+    """
+    p = data.p
+    pes = np.asarray(pes, dtype=np.int64)
+    if pes.shape != (p,):
+        raise ValueError("need one global PE index per segment")
+    sizes = data.sizes()
+    counts = np.broadcast_to(np.asarray(counts, dtype=np.int64), (p,))
+    if counts.size and int(counts.min(initial=0)) < 0:
+        raise ValueError("sample counts must be non-negative")
+    eff = np.where(sizes > 0, counts, 0)
+    total = int(eff.sum())
+    if total == 0:
+        return DistArray(np.empty(0, dtype=data.dtype), np.zeros(p + 1, np.int64))
+    seg = np.repeat(np.arange(p, dtype=np.int64), eff)
+    # Draw j of stream (level, pe) is 32-bit word j mod 4 of Philox block
+    # j div 4 — one block feeds four sample positions, quartering the
+    # Philox work.  Blocks are evaluated per (segment, block index) lane;
+    # the per-draw words are then gathered out of each segment's block
+    # prefix.  32-bit words limit segment sizes to 2**31 (far above any
+    # simulated per-PE load; the modulo bias at realistic sizes is < 1e-3).
+    if sizes.size and int(sizes.max(initial=0)) >= 2 ** 31:
+        raise ValueError("segment too large for 32-bit sample positions")
+    lane_counts = (eff + 3) >> 2
+    n_lanes = int(lane_counts.sum())
+    lane_seg = np.repeat(np.arange(p, dtype=np.int64), lane_counts)
+    lane_excl = np.cumsum(lane_counts) - lane_counts
+    lane_idx = np.arange(n_lanes, dtype=np.int64) - lane_excl[lane_seg]
+    y0, y1, y2, y3 = rng.blocks(level, pes[lane_seg], lane_idx)
+    words = np.empty((n_lanes, 4), dtype=np.uint64)
+    words[:, 0] = y0
+    words[:, 1] = y1
+    words[:, 2] = y2
+    words[:, 3] = y3
+    draw_words = words.reshape(-1)[concat_ranges(lane_excl * 4, eff)]
+    pos = (draw_words % sizes[seg].astype(np.uint64)).astype(np.int64)
+    values = data.values[data.offsets[seg] + pos]
+    return DistArray.from_sizes(values, eff)
+
+
 def draw_samples(
     local_data: Sequence[np.ndarray],
     params: SamplingParams,
     p: int,
     r: int,
-    rngs: Sequence[np.random.Generator],
+    rng: CounterRNG,
+    level: int,
+    pes: np.ndarray,
 ) -> List[np.ndarray]:
-    """Draw the per-PE samples for one AMS-sort level.
+    """Draw the per-PE samples for one AMS-sort level (reference view).
 
-    ``rngs`` must contain one generator per PE (PE-local randomness).
+    A thin list-of-arrays wrapper over :func:`draw_samples_flat` — the
+    per-PE reference specification and the flat engine share the one
+    counter-RNG sampling helper, which is what keeps their drawn samples
+    byte-identical without replaying stateful per-PE streams.
     """
-    if len(local_data) != p or len(rngs) != p:
-        raise ValueError("need one local array and one RNG per PE")
+    if len(local_data) != p:
+        raise ValueError("need one local array per PE")
     per_pe = params.samples_per_pe(p, r)
-    return [draw_local_sample(np.asarray(d), per_pe, g) for d, g in zip(local_data, rngs)]
-
-
-def draw_samples_flat(
-    data: DistArray, count: int, rngs: Sequence[np.random.Generator]
-) -> DistArray:
-    """Segment-aware sample drawing for the flat engine.
-
-    Draws ``count`` elements from every PE segment of ``data`` using that
-    PE's own random stream (``rngs[i]``), exactly like the per-PE reference
-    (:func:`draw_local_sample` per PE), and returns the sample as a
-    :class:`DistArray`.  The per-PE RNG streams are consumed in ascending PE
-    order so the drawn sample is byte-identical to the reference path.
-    """
-    if len(rngs) != data.p:
-        raise ValueError("need one RNG per PE segment")
-    samples = [
-        draw_local_sample(data.segment(i), count, rngs[i]) for i in range(data.p)
-    ]
-    return DistArray.from_list(samples)
+    dist = DistArray.from_list([np.asarray(d) for d in local_data])
+    return draw_samples_flat(dist, per_pe, rng, level, pes).to_list()
 
 
 def splitter_ranks(sample_size: int, num_splitters: int) -> np.ndarray:

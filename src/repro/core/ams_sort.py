@@ -49,7 +49,8 @@ from repro.blocks.fast_sort import (
 from repro.blocks.grouping import optimal_bucket_grouping
 from repro.blocks.sampling import (
     SamplingParams,
-    draw_local_sample,
+    draw_samples,
+    draw_samples_flat,
     splitter_ranks,
 )
 from repro.core.config import AMSConfig
@@ -59,8 +60,8 @@ from repro.dist.flatops import (
     concat_ranges,
     map_by_unique,
     map_by_unique2,
-    ragged_bincount,
-    stable_key_argsort,
+    segmented_sort_values,
+    stable_two_key_argsort,
 )
 from repro.machine.counters import (
     PHASE_BUCKET_PROCESSING,
@@ -186,10 +187,10 @@ def ams_sort_reference(
     # 1. Splitter selection
     # ------------------------------------------------------------------
     with comm.phase(PHASE_SPLITTER_SELECTION):
-        per_pe = sampling.samples_per_pe(p, r)
-        samples = [
-            draw_local_sample(local_data[i], per_pe, comm.pe_rng(i)) for i in range(p)
-        ]
+        samples = draw_samples(
+            local_data, sampling, p, r,
+            comm.machine.sample_rng, level, comm.members,
+        )
     if config.use_fast_sample_sort:
         splitters = select_splitters_by_rank(
             comm, samples, num_splitters, phase=PHASE_SPLITTER_SELECTION
@@ -340,17 +341,16 @@ def _segmented_sample_splitters(
 ) -> List[np.ndarray]:
     """Sort the batch sample per island and pick equidistant splitters.
 
-    One segmented stable argsort over the whole batch, then per island the
-    :func:`splitter_ranks` pick; islands with no sample or no splitters get
-    an empty array.  Charge-free — the grid and centralized splitter paths
-    share this data plane and differ only in what they charge.
+    One segmented (per-island) value sort over the whole batch, then per
+    island the :func:`splitter_ranks` pick; islands with no sample or no
+    splitters get an empty array.  Charge-free — the grid and centralized
+    splitter paths share this data plane and differ only in what they
+    charge.
     """
     n_act = int(isl_sample_tot.size)
     sample_off = np.zeros(n_act + 1, dtype=np.int64)
     np.cumsum(isl_sample_tot, out=sample_off[1:])
-    sample_island = np.repeat(np.arange(n_act, dtype=np.int64), isl_sample_tot)
-    order = np.lexsort((samples_b.values, sample_island))
-    sorted_samples = samples_b.values[order]
+    sorted_samples = segmented_sort_values(samples_b.values, sample_off)
     splitters_per_isl: List[np.ndarray] = []
     for k in range(n_act):
         ns_k = sampling.num_splitters(int(r_act[k]))
@@ -616,14 +616,9 @@ def _ams_level_batched(
             ),
             act_sizes,
         )
-        samples_b = DistArray.from_list([
-            draw_local_sample(
-                dist_b.segment(i),
-                int(per_pe_counts[i]),
-                machine.pe_rng(int(batch_members[i])),
-            )
-            for i in range(q)
-        ])
+        samples_b = draw_samples_flat(
+            dist_b, per_pe_counts, machine.sample_rng, level, batch_members
+        )
     if config.use_fast_sample_sort:
         splitters_per_isl = _batched_grid_splitters(
             comm, islands, samples_b, act_sizes, r_act, sampling
@@ -650,15 +645,26 @@ def _ams_level_batched(
         )
         elem_off = dist_b.offsets[act_off]  # element range per island
         elem_pe = dist_b.segment_ids()
-        elem_isl = pe_isl[elem_pe]
         bucket_of = blockwise_searchsorted(
             spl_values, spl_off, dist_b.values, elem_off, side="right"
         )
         nb_off = np.zeros(n_act + 1, dtype=np.int64)
         np.cumsum(nb_per_isl, out=nb_off[1:])
         # Global bucket sizes per island: the per-(group, PE) reduction.
-        gbs_flat = ragged_bincount(elem_isl, bucket_of, nb_off)
-        isl_bucket_key = nb_off[elem_isl] + bucket_of
+        # The bucket indices come straight out of the bounded searchsorted,
+        # so the ragged reduction can skip its range validation passes.
+        if n_act == 1:
+            isl_bucket_key = bucket_of
+            gbs_flat = np.bincount(
+                bucket_of, minlength=int(nb_off[-1])
+            ).astype(np.int64, copy=False)
+        else:
+            isl_bucket_key = (
+                np.repeat(nb_off[:-1], np.diff(elem_off)) + bucket_of
+            )
+            gbs_flat = np.bincount(
+                isl_bucket_key, minlength=int(nb_off[-1])
+            ).astype(np.int64, copy=False)
         islands.charge_collective(nb_per_isl)
 
         # Bucket -> destination group per island through one ragged lookup
@@ -678,21 +684,38 @@ def _ams_level_batched(
         dest_local = lut[isl_bucket_key]
 
         r_per_pe = r_act[pe_isl]
-        pe_piece_base = np.cumsum(r_per_pe) - r_per_pe
-        piece_key = pe_piece_base[elem_pe] + dest_local
         total_pieces = int(r_per_pe.sum())
-        # Stable (PE, group) reorder, island by island: inside one island the
-        # piece key spans only p_k * r_k values, which keeps the stable
-        # argsort in the fast narrow-integer radix path instead of paying
-        # two whole-machine radix passes per level.
-        order = np.empty(dist_b.total, dtype=np.int64)
-        for k in range(n_act):
-            sl = slice(int(elem_off[k]), int(elem_off[k + 1]))
-            base = int(pe_piece_base[act_off[k]])
-            order[sl] = stable_key_argsort(
-                piece_key[sl] - base, int(act_sizes[k]) * int(r_act[k])
-            ) + int(elem_off[k])
-        piece_values = dist_b.values[order]
+        r_max = int(r_act.max(initial=1))
+        if int(r_act.min(initial=1)) == r_max:
+            # Uniform group count (the overwhelmingly common case): the
+            # piece index is pure arithmetic, no per-PE base gather.
+            piece_key = elem_pe * np.int64(r_max) + dest_local
+        else:
+            pe_piece_base = np.cumsum(r_per_pe) - r_per_pe
+            piece_key = pe_piece_base[elem_pe] + dest_local
+        # Stable (PE, group) reorder for the whole batch at once.  Islands
+        # occupy disjoint ascending PE ranges, so one stable two-key radix
+        # argsort over (PE, destination group) — two 16-bit counting passes
+        # for any p up to 2^16 — equals the per-island reorders with the
+        # island element offsets pre-added, eliminating the per-island
+        # Python loop the previous engine spent most of its level time in.
+        # When every destination group is a singleton (the final level),
+        # even that reorder is skipped: the delivery consumes the elements
+        # in place through its fused element plane, keyed by each
+        # element's destination PE.
+        fuse_delivery = (
+            config.delivery != "advanced"
+            and bool(np.all(r_act == act_sizes))
+        )
+        if fuse_delivery:
+            piece_values = None
+            elem_dest = (
+                np.repeat(act_off[:-1], np.diff(elem_off)) + dest_local
+            )
+        else:
+            elem_dest = None
+            order = stable_two_key_argsort(elem_pe, dest_local, q, r_max)
+            piece_values = dist_b.values[order]
         piece_len = np.bincount(piece_key, minlength=total_pieces).astype(
             np.int64, copy=False
         )
@@ -728,6 +751,7 @@ def _ams_level_batched(
         seed=machine.seed + level + 1,
         phase=PHASE_DATA_DELIVERY,
         schedule=config.exchange_schedule,
+        elem_plane=(dist_b.values, elem_dest) if fuse_delivery else None,
     )
     received = delivery.received
 

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.blocks.delivery import deliver_to_groups, deliver_to_groups_flat
 from repro.blocks.multiselect import multisequence_select, multisequence_select_flat
-from repro.blocks.sampling import draw_local_sample, splitter_ranks
+from repro.blocks.sampling import draw_samples_flat, splitter_ranks
 from repro.dist.array import DistArray
 from repro.dist.flatops import stable_key_argsort, stable_two_key_argsort
 from repro.machine.counters import (
@@ -57,9 +57,10 @@ def single_level_sample_sort_reference(
 
     # --- centralized splitter selection -------------------------------
     with comm.phase(PHASE_SPLITTER_SELECTION):
-        samples = [
-            draw_local_sample(local_data[i], oversampling, comm.pe_rng(i)) for i in range(p)
-        ]
+        samples = draw_samples_flat(
+            DistArray.from_list(local_data), oversampling,
+            comm.machine.sample_rng, 0, comm.members,
+        ).to_list()
         gathered = comm.gather(samples, root=0, words_each=oversampling)
         pieces = [np.asarray(s) for s in gathered if np.asarray(s).size > 0]
         sample = np.sort(np.concatenate(pieces), kind="stable") if pieces else np.empty(0)
@@ -178,9 +179,10 @@ def parallel_quicksort_reference(
 
     # --- pivot selection from a small sample ---------------------------
     with comm.phase(PHASE_SPLITTER_SELECTION):
-        samples = [
-            draw_local_sample(local_data[i], oversampling, comm.pe_rng(i)) for i in range(p)
-        ]
+        samples = draw_samples_flat(
+            DistArray.from_list(local_data), oversampling,
+            comm.machine.sample_rng, seed_offset, comm.members,
+        ).to_list()
         gathered = comm.allgather_arrays(samples, merge_sorted=True)
         if gathered.size == 0:
             pivot = None
@@ -236,12 +238,11 @@ def _single_level_sample_sort_flat(
         return DistArray(out, dist.offsets.copy())
     sizes = dist.sizes()
 
-    # --- centralized splitter selection (small sample, per-PE RNG) ------
+    # --- centralized splitter selection (counter-RNG sample) ------------
     with comm.phase(PHASE_SPLITTER_SELECTION):
-        samples = [
-            draw_local_sample(dist.segment(i), oversampling, comm.pe_rng(i))
-            for i in range(p)
-        ]
+        samples = draw_samples_flat(
+            dist, oversampling, comm.machine.sample_rng, 0, comm.members
+        ).to_list()
         gathered = comm.gather(samples, root=0, words_each=oversampling)
         pieces = [np.asarray(s) for s in gathered if np.asarray(s).size > 0]
         sample = np.sort(np.concatenate(pieces), kind="stable") if pieces else np.empty(0)
@@ -347,10 +348,9 @@ def _parallel_quicksort_flat(
 
     # --- pivot selection from a small sample ---------------------------
     with comm.phase(PHASE_SPLITTER_SELECTION):
-        samples = [
-            draw_local_sample(dist.segment(i), oversampling, comm.pe_rng(i))
-            for i in range(p)
-        ]
+        samples = draw_samples_flat(
+            dist, oversampling, comm.machine.sample_rng, seed_offset, comm.members
+        ).to_list()
         gathered = comm.allgather_arrays(samples, merge_sorted=True)
         if gathered.size == 0:
             pivot = None

@@ -28,6 +28,7 @@ points (:func:`repro.core.runner.run_on_machine`, :func:`repro.ams_sort`,
 """
 
 from repro.dist.array import DistArray
+from repro.dist.ctr_rng import CounterRNG, philox4x32
 from repro.dist.flatops import (
     concat_ranges,
     segment_ids,
@@ -37,8 +38,10 @@ from repro.dist.flatops import (
 )
 
 __all__ = [
+    "CounterRNG",
     "DistArray",
     "concat_ranges",
+    "philox4x32",
     "segment_ids",
     "segmented_sort_values",
     "split_intervals",

@@ -38,26 +38,23 @@ def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     The returned int64 array has ``lengths.sum()`` entries and enumerates all
     ranges back to back, so ``buffer[concat_ranges(s, l)]`` concatenates the
     ranges without any Python-level loop.  Zero-length ranges are skipped.
-    Built as one cumulative sum of per-position steps (step 1 inside a
-    range, a jump at every range boundary).
+    Built as ``arange(total)`` plus a per-range shift broadcast with
+    ``np.repeat`` — two sequential passes over the output, with the cumsum
+    confined to the (short) per-range vector instead of the element axis.
     """
     starts = np.asarray(starts, dtype=np.int64)
     lengths = np.asarray(lengths, dtype=np.int64)
     if starts.shape != lengths.shape:
         raise ValueError("starts and lengths must have the same shape")
-    nonzero = lengths > 0
-    if not nonzero.all():
-        starts = starts[nonzero]
-        lengths = lengths[nonzero]
     total = int(lengths.sum())
     if total == 0:
         return np.empty(0, dtype=np.int64)
-    step = np.ones(total, dtype=np.int64)
-    step[0] = starts[0]
-    if starts.size > 1:
-        bounds = np.cumsum(lengths[:-1])
-        step[bounds] = starts[1:] - starts[:-1] - lengths[:-1] + 1
-    return np.cumsum(step, out=step)
+    # Position k of range i maps to starts[i] + k; relative to the flat
+    # output position this is a constant shift per range.
+    excl = np.cumsum(lengths) - lengths
+    out = np.arange(total, dtype=np.int64)
+    out += np.repeat(starts - excl, lengths)
+    return out
 
 
 def stable_key_argsort(key: np.ndarray, key_bound: int) -> np.ndarray:
@@ -99,19 +96,106 @@ def stable_two_key_argsort(
     return stable_key_argsort(major * minor_bound + minor, major_bound * minor_bound)
 
 
+def _composed_radix_segment_sort(
+    values: np.ndarray, offsets: np.ndarray, p: int
+) -> Union[np.ndarray, None]:
+    """Key-composed radix path of :func:`segmented_sort_values`.
+
+    When the values are integers of range ``R`` and ``p * R`` fits a 64-bit
+    key, the per-segment sort is one whole-array ``np.sort`` of the composed
+    key ``(segment << value_bits) | (value - vmin)``: the composed order is
+    exactly (segment, value), and decomposing restores the values sorted
+    within each segment.  One C-speed sort instead of ``p`` Python-level
+    segment sorts — the win of the flat engine's large-``p``/short-segment
+    regime whenever the value range allows (narrow keys, ranks, bucket
+    ids).  Returns ``None`` when the composition does not fit.
+    """
+    if values.dtype.kind not in "iu":
+        return None
+    vmin = int(values.min())
+    vmax = int(values.max())
+    if vmax > np.iinfo(np.int64).max:
+        return None  # uint64 beyond int64: the int64 key space cannot hold it
+    value_bits = max(1, int(vmax - vmin).bit_length())
+    seg_bits = int(p - 1).bit_length()
+    if value_bits + seg_bits > 63:
+        return None
+    seg = segment_ids(offsets)
+    key = (seg << np.int64(value_bits)) | (values.astype(np.int64) - vmin)
+    key.sort()
+    key &= np.int64((1 << value_bits) - 1)
+    key += vmin
+    return key.astype(values.dtype, copy=False)
+
+
+def _padded_segment_sort(
+    values: np.ndarray, offsets: np.ndarray, p: int
+) -> np.ndarray:
+    """Pad segments to a rectangle and sort all rows with one ``np.sort``.
+
+    Every segment becomes one row of a ``(p, max_len)`` matrix, padded with
+    the dtype's maximum so the pad elements sink to the row ends after an
+    ascending ``np.sort(axis=1)``; stripping the padding leaves each
+    segment's values sorted.  (Equal-to-max real values are
+    indistinguishable from pads in *value*, which is all a value sort
+    returns — the truncation keeps exactly ``len_i`` entries, so the output
+    is still the sorted segment.)  One vectorised row sort replaces ``p``
+    Python-level slice sorts; used when segments are short and near-uniform
+    so the padding overhead stays bounded.
+    """
+    sizes = np.diff(offsets)
+    max_len = int(sizes.max())
+    if np.issubdtype(values.dtype, np.floating):
+        pad = np.inf
+    else:
+        pad = np.iinfo(values.dtype).max
+    mat = np.full((p, int(max_len)), pad, dtype=values.dtype)
+    # Each segment occupies its row's prefix; one flat index addresses the
+    # prefixes for both the scatter in and the gather out.
+    flat_idx = concat_ranges(
+        np.arange(p, dtype=np.int64) * max_len, sizes
+    )
+    flat = mat.reshape(-1)
+    flat[flat_idx] = values
+    mat.sort(axis=1)
+    return flat[flat_idx]
+
+
 def segmented_sort_values(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
     """Stable-sort every segment of a CSR layout independently.
 
     Byte-identical to ``np.sort(segment, kind="stable")`` applied per
-    segment.  For reasonably sized segments this is done with in-place
-    sorts of the segment slices (numpy's comparison sort on wide dtypes is
-    much faster than a whole-array ``lexsort``); very short segments fall
-    back to one stable argsort keyed by the segment id.
+    segment (for plain values a sort's output does not depend on the sort's
+    stability, so any correct per-segment ordering qualifies).  Three
+    strategies cover the engine's regimes:
+
+    * few segments (or long segments): in-place sorts of the segment slices,
+    * many short integer segments with a bounded value range: one
+      whole-array radix-style sort of composed ``(segment, value)`` keys
+      (:func:`_composed_radix_segment_sort`),
+    * many short near-uniform segments with wide values (the post-delivery
+      layout at large ``p``): one padded rectangular ``np.sort(axis=1)``
+      (:func:`_padded_segment_sort`),
+
+    falling back to a stable argsort keyed by segment id for extremely
+    short ragged segments.
     """
     values = np.asarray(values)
     if values.size == 0:
         return values.copy()
     p = int(offsets.size) - 1
+    sizes = np.diff(offsets)
+    max_len = int(sizes.max())
+    if p >= 64 and values.size >= 4 * p:
+        composed = _composed_radix_segment_sort(values, offsets, p)
+        if composed is not None:
+            return composed
+        if max_len * p <= 2 * values.size + 4 * p and not (
+            # NaNs sort *after* the inf padding, so the padded prefix
+            # gather would return pads instead of the NaNs — fall back.
+            values.dtype.kind == "f" and bool(np.isnan(values).any())
+        ):
+            return _padded_segment_sort(values, offsets, p)
     if values.size >= 4 * p:
         out = values.copy()
         for i in range(p):
@@ -236,13 +320,67 @@ def blockwise_searchsorted(
         seg = values[offsets[s]:offsets[s + 1]]
         if seg.size == 0:
             out[qlo:qhi] = 0
+        elif qhi - qlo >= 4096 and seg.size >= 16 and queries.dtype.kind in "iu":
+            out[qlo:qhi] = _bucketize_with_table(seg, queries[qlo:qhi], side)
         else:
             out[qlo:qhi] = np.searchsorted(seg, queries[qlo:qhi], side=side)
     return out
 
 
+def _bucketize_with_table(
+    sorted_vals: np.ndarray, queries: np.ndarray, side: str
+) -> np.ndarray:
+    """``np.searchsorted`` accelerated by a radix prefix table.
+
+    For *many* integer queries against *few* sorted boundaries, a binary
+    search spends most of its time in unpredictable branches.  Instead the
+    boundary range ``[lo, hi]`` is cut into ``B = 2**bits`` equal cells (a
+    radix on the top query bits): a precomputed table gives, per cell, the
+    lowest and highest possible search result.  Cells not containing a
+    boundary — all but at most ``len(sorted_vals)`` of them — resolve with
+    one table gather; only queries in mixed cells fall back to the exact
+    ``searchsorted``.  Identical output to ``np.searchsorted(..., side)``.
+    """
+    lo_v = int(sorted_vals[0])
+    hi_v = int(sorted_vals[-1])
+    span = hi_v - lo_v  # exact Python int: no int64 overflow
+    if span <= 0 or not -(2 ** 62) < lo_v <= hi_v < 2 ** 62:
+        return np.searchsorted(sorted_vals, queries, side=side)
+    bits = min(16, max(8, queries.size.bit_length() - 4))
+    shift = max(0, span.bit_length() - bits)
+    n_cells = (span >> shift) + 1
+    bounds = lo_v + (np.arange(n_cells + 1, dtype=np.int64) << shift)
+    # Result range per cell: side='right' counts <= q, side='left' counts
+    # < q; the extremes within cell t are reached at q = bounds[t] and
+    # q = bounds[t+1] - 1 (integer queries), for either side.  The table
+    # packs the low result in bits 1.. and a mixed-cell flag in bit 0.
+    lo_tab = np.searchsorted(sorted_vals, bounds[:-1], side=side)
+    hi_tab = np.searchsorted(sorted_vals, bounds[1:] - 1, side=side)
+    tab = (lo_tab.astype(np.int64) << np.int64(1)) | (hi_tab != lo_tab)
+
+    below = queries < lo_v
+    above = queries > hi_v
+    cell = np.clip(queries, lo_v, hi_v).astype(np.int64, copy=False)
+    cell -= lo_v
+    cell >>= np.int64(shift)
+    res = tab[cell]
+    mixed = np.flatnonzero(res & np.int64(1))
+    res >>= np.int64(1)
+    if mixed.size:
+        res[mixed] = np.searchsorted(sorted_vals, queries[mixed], side=side)
+    # Below the smallest boundary both sides give 0; above the largest,
+    # both give the full count (clipped queries fell into the edge cells,
+    # whose table answers are for lo_v / hi_v — overwrite them).
+    if below.any():
+        res[below] = 0
+    if above.any():
+        res[above] = sorted_vals.size
+    return res
+
+
 def ragged_bincount(
-    seg: np.ndarray, key: np.ndarray, key_offsets: np.ndarray
+    seg: np.ndarray, key: np.ndarray, key_offsets: np.ndarray,
+    validate: bool = True,
 ) -> np.ndarray:
     """Per-segment histograms with a per-segment number of bins, back to back.
 
@@ -253,13 +391,17 @@ def ragged_bincount(
     per-``(group, PE)`` reduction of the batched lockstep engine: global
     bucket sizes per island, or piece sizes per ``(PE, destination group)``
     when the group count varies across islands.
+
+    ``validate=False`` skips the per-element bin-range check (two extra
+    whole-array passes); engine-internal callers whose keys come straight
+    out of a ``searchsorted`` against the segment's own boundaries use it.
     """
     seg = np.asarray(seg, dtype=np.int64)
     key = np.asarray(key, dtype=np.int64)
     key_offsets = np.asarray(key_offsets, dtype=np.int64)
     if seg.shape != key.shape:
         raise ValueError("seg and key must have the same shape")
-    if seg.size:
+    if validate and seg.size:
         widths = np.diff(key_offsets)
         if key.min(initial=0) < 0 or np.any(key >= widths[seg]):
             raise IndexError("bin index out of range for its segment")
@@ -277,6 +419,25 @@ def map_by_unique(values: np.ndarray, fn) -> np.ndarray:
     one per distinct size (per-PE sizes cluster heavily after delivery).
     """
     values = np.asarray(values)
+    if (
+        values.size > 16
+        and values.dtype.kind in "iu"
+        and 0 <= int(values.min())
+        # Table size must stay proportional to the work saved: linear in
+        # the element count for small arrays, up to a fixed ceiling for
+        # the big encoded-pair keys of whole-machine cost vectors.
+        and int(values.max())
+        <= max(8 * values.size + 1024, min(values.size * values.size, 1 << 22))
+    ):
+        # Bounded non-negative ints (per-PE sizes, fan-ins): find the
+        # distinct values with one boolean scatter instead of a sort.
+        bound = int(values.max()) + 1
+        present = np.zeros(bound, dtype=bool)
+        present[values] = True
+        uniq = np.flatnonzero(present)
+        table = np.empty(bound, dtype=np.float64)
+        table[uniq] = [fn(int(x)) for x in uniq]
+        return table[values]
     uniq, inverse = np.unique(values, return_inverse=True)
     out = np.array([fn(x) for x in uniq.tolist()], dtype=np.float64)
     return out[inverse]

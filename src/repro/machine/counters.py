@@ -15,6 +15,7 @@ this module provide exactly that bookkeeping for the simulator:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
@@ -220,6 +221,15 @@ class PhaseTimer:
 
     Nested phases are allowed; the innermost phase wins (matching how the
     paper instruments its implementation with per-phase barriers).
+
+    When the machine has wall-clock profiling enabled (see
+    :meth:`~repro.sim.machine.SimulatedMachine.enable_wall_profile`), phase
+    transitions also accumulate *host* wall time per phase name — the
+    simulator's own execution cost, not modelled time — which is what the
+    engine-performance tooling (``benchmarks/profile_engine.py``, the
+    ``--profile`` flag of the scaling benchmark) reports.  Exclusive
+    attribution: while a nested phase is open, wall time goes to the inner
+    phase only.
     """
 
     machine: "object"
@@ -228,8 +238,25 @@ class PhaseTimer:
 
     def __enter__(self) -> "PhaseTimer":
         self.previous = getattr(self.machine, "current_phase", PHASE_OTHER)
+        profile = getattr(self.machine, "wall_profile", None)
+        if profile is not None:
+            now = time.perf_counter()
+            mark = getattr(self.machine, "_wall_mark", None)
+            if mark is not None:
+                profile[self.previous] = (
+                    profile.get(self.previous, 0.0) + now - mark
+                )
+            self.machine._wall_mark = now
         self.machine.current_phase = self.phase
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.machine.current_phase = self.previous if self.previous is not None else PHASE_OTHER
+        previous = self.previous if self.previous is not None else PHASE_OTHER
+        profile = getattr(self.machine, "wall_profile", None)
+        if profile is not None:
+            now = time.perf_counter()
+            mark = getattr(self.machine, "_wall_mark", None)
+            if mark is not None:
+                profile[self.phase] = profile.get(self.phase, 0.0) + now - mark
+            self.machine._wall_mark = now
+        self.machine.current_phase = previous

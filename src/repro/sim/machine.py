@@ -13,6 +13,7 @@ from repro.machine.counters import (
     PhaseTimer,
     TrafficCounters,
 )
+from repro.dist.ctr_rng import CounterRNG
 from repro.machine.spec import MachineSpec
 from repro.machine.topology import Topology, topology_for
 
@@ -100,10 +101,29 @@ class SimulatedMachine:
         self.seed = int(seed)
         self.rng = np.random.default_rng(self.seed)
         self._pe_rngs: dict[int, np.random.Generator] = {}
+        self._sample_rng = CounterRNG(self.seed)
+        self.wall_profile: Optional[dict] = None
+        self._wall_mark: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Random number generation
     # ------------------------------------------------------------------
+    @property
+    def sample_rng(self) -> CounterRNG:
+        """Counter-based random streams for the sampled algorithm paths.
+
+        A :class:`~repro.dist.ctr_rng.CounterRNG` keyed by the machine seed:
+        every draw is a pure function of ``(seed, level, pe, index)``, so one
+        vectorised call produces the whole machine's sample positions for a
+        recursion level while the per-PE reference path obtains *identical*
+        values from the same helper.  This supersedes :meth:`pe_rng` on the
+        sampled paths (AMS splitter sampling and the sampling baselines);
+        ``pe_rng`` remains for PE-local decisions that have no whole-machine
+        batch formulation.  Being stateless, the streams are unaffected by
+        :meth:`reset` — same seed, same draws, in any batching.
+        """
+        return self._sample_rng
+
     def pe_rng(self, pe: int) -> np.random.Generator:
         """Deterministic per-PE random generator (for PE-local decisions)."""
         if not 0 <= pe < self.p:
@@ -195,13 +215,22 @@ class SimulatedMachine:
         return float(self.clock[idx].max())
 
     def reset(self) -> None:
-        """Reset clocks, counters, phase breakdown and random generators."""
+        """Reset clocks, counters, phase breakdown and random generators.
+
+        The counter-based sampling streams (:attr:`sample_rng`) carry no
+        state and are therefore unaffected: the same seed draws the same
+        samples before and after a reset.  An enabled wall-clock profile is
+        cleared but stays enabled.
+        """
         self.clock.fill(0.0)
         self.counters.reset()
         self.breakdown.reset()
         self.current_phase = PHASE_OTHER
         self.rng = np.random.default_rng(self.seed)
         self._pe_rngs.clear()
+        if self.wall_profile is not None:
+            self.wall_profile.clear()  # in place: callers hold the reference
+            self._wall_mark = None
 
     # ------------------------------------------------------------------
     # Phases
@@ -209,6 +238,22 @@ class SimulatedMachine:
     def phase(self, name: str) -> PhaseTimer:
         """Context manager attributing subsequent clock advances to ``name``."""
         return PhaseTimer(self, name)
+
+    def enable_wall_profile(self) -> dict:
+        """Attribute host wall-clock time to algorithm phases.
+
+        Returns the live profile dictionary (phase name → seconds of
+        *simulator execution* time spent while that phase was the innermost
+        open phase).  Unlike :attr:`breakdown`, which accumulates modelled
+        PE time, this measures where the engine itself spends wall time —
+        the sampling / sorting / routing / delivery attribution the perf
+        tooling regresses against.  Profiling costs two ``perf_counter``
+        calls per phase transition (phases are coarse, so the overhead is
+        noise).
+        """
+        if self.wall_profile is None:
+            self.wall_profile = {}
+        return self.wall_profile
 
     # ------------------------------------------------------------------
     # Communicators

@@ -10,6 +10,7 @@ from repro.blocks.sampling import (
     draw_samples,
     splitter_ranks,
 )
+from repro.dist.ctr_rng import CounterRNG
 
 
 class TestSamplingParams:
@@ -80,16 +81,19 @@ class TestDrawSamples:
     def test_draw_samples_per_pe(self):
         params = SamplingParams(oversampling=2, overpartitioning=2, per_pe=True)
         data = [np.arange(50) for _ in range(4)]
-        rngs = [np.random.default_rng(i) for i in range(4)]
-        samples = draw_samples(data, params, p=4, r=2, rngs=rngs)
+        rng = CounterRNG(0)
+        samples = draw_samples(
+            data, params, p=4, r=2, rng=rng, level=0, pes=np.arange(4)
+        )
         assert len(samples) == 4
         assert all(s.size == 4 for s in samples)
+        assert all(np.isin(s, d).all() for s, d in zip(samples, data))
 
     def test_draw_samples_arity_check(self):
         params = SamplingParams()
         with pytest.raises(ValueError):
             draw_samples([np.arange(5)], params, p=2, r=2,
-                         rngs=[np.random.default_rng(0), np.random.default_rng(1)])
+                         rng=CounterRNG(0), level=0, pes=np.arange(2))
 
 
 class TestSplitterRanks:

@@ -1,0 +1,312 @@
+"""Tests for the counter-based sampling RNG and the PR 3 flat kernels.
+
+The counter RNG (:mod:`repro.dist.ctr_rng`) underpins the sampled paths of
+both engines: every draw is a pure function of ``(seed, level, pe, index)``.
+These tests pin the properties the engines rely on — determinism, stability
+across :meth:`SimulatedMachine.reset`, independence between streams and
+between batched/per-PE invocations — plus Hypothesis oracles for the new
+hot-path kernels (key-composed / padded segmented sort, table-accelerated
+``blockwise_searchsorted``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blocks.sampling import SamplingParams, draw_samples, draw_samples_flat
+from repro.dist.array import DistArray
+from repro.dist.ctr_rng import CounterRNG, philox4x32
+from repro.dist.flatops import (
+    _bucketize_with_table,
+    blockwise_searchsorted,
+    segmented_sort_values,
+)
+from repro.sim.machine import SimulatedMachine
+
+
+class TestPhilox:
+    def test_deterministic(self):
+        a = philox4x32(np.arange(100), 0, 7, 3, 123, 456)
+        b = philox4x32(np.arange(100), 0, 7, 3, 123, 456)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_counter_sensitivity(self):
+        y = CounterRNG(0).words(0, 0, np.arange(1000))
+        assert np.unique(y).size == 1000  # no collisions across indices
+
+    def test_outputs_are_32_bit_words(self):
+        words = philox4x32(np.arange(50), 1, 2, 3, 9, 9)
+        for w in words:
+            assert w.dtype == np.uint64
+            assert int(w.max()) < 2 ** 32
+
+    def test_key_changes_stream(self):
+        a = CounterRNG(1).words(0, 0, np.arange(100))
+        b = CounterRNG(2).words(0, 0, np.arange(100))
+        assert not np.array_equal(a, b)
+
+    def test_level_and_pe_select_streams(self):
+        rng = CounterRNG(0)
+        base = rng.words(0, 0, np.arange(100))
+        assert not np.array_equal(base, rng.words(1, 0, np.arange(100)))
+        assert not np.array_equal(base, rng.words(0, 1, np.arange(100)))
+
+    def test_uniforms_in_unit_interval(self):
+        u = CounterRNG(3).uniforms(0, 5, np.arange(10_000))
+        assert u.min() >= 0.0 and u.max() < 1.0
+        assert abs(u.mean() - 0.5) < 0.02
+
+    def test_integers_respect_bounds(self):
+        v = CounterRNG(4).integers(2, 7, np.arange(10_000), 13)
+        assert v.min() >= 0 and v.max() < 13
+        counts = np.bincount(v, minlength=13)
+        assert counts.min() > 0.5 * 10_000 / 13
+
+    def test_integers_reject_zero_bound(self):
+        with pytest.raises(ValueError):
+            CounterRNG(0).integers(0, 0, np.arange(4), np.array([3, 0, 1, 2]))
+
+
+class TestSampleRNGStability:
+    def test_stable_across_reset(self):
+        machine = SimulatedMachine(4, seed=9)
+        data = DistArray.from_list([np.arange(50) + 10 * i for i in range(4)])
+        before = draw_samples_flat(
+            data, 7, machine.sample_rng, 1, np.arange(4)
+        )
+        machine.advance(0, 1.0)
+        machine.reset()
+        after = draw_samples_flat(
+            data, 7, machine.sample_rng, 1, np.arange(4)
+        )
+        assert np.array_equal(before.values, after.values)
+        assert np.array_equal(before.offsets, after.offsets)
+
+    def test_same_seed_same_machine_instance_independent(self):
+        m1 = SimulatedMachine(3, seed=5)
+        m2 = SimulatedMachine(3, seed=5)
+        data = DistArray.from_list([np.arange(30) for _ in range(3)])
+        s1 = draw_samples_flat(data, 5, m1.sample_rng, 0, np.arange(3))
+        s2 = draw_samples_flat(data, 5, m2.sample_rng, 0, np.arange(3))
+        assert np.array_equal(s1.values, s2.values)
+
+    def test_draws_independent_of_other_streams(self):
+        """Drawing a PE alone equals drawing it as part of the whole batch."""
+        rng = CounterRNG(11)
+        arrays = [np.arange(40) * 3 + i for i in range(6)]
+        data = DistArray.from_list(arrays)
+        batched = draw_samples_flat(data, 9, rng, 2, np.arange(6))
+        for i in range(6):
+            solo = draw_samples_flat(
+                DistArray.from_list([arrays[i]]), 9, rng, 2,
+                np.array([i]),
+            )
+            assert np.array_equal(batched.segment(i), solo.values), (
+                f"PE {i} draws depend on the batching"
+            )
+
+    def test_draws_independent_of_level(self):
+        rng = CounterRNG(0)
+        data = DistArray.from_list([np.arange(100)])
+        a = draw_samples_flat(data, 50, rng, 0, np.arange(1))
+        b = draw_samples_flat(data, 50, rng, 1, np.arange(1))
+        assert not np.array_equal(a.values, b.values)
+
+    def test_reference_wrapper_matches_flat(self):
+        rng = CounterRNG(21)
+        arrays = [np.arange(25) + i for i in range(5)]
+        params = SamplingParams(oversampling=2, overpartitioning=3)
+        ref = draw_samples(arrays, params, 5, 2, rng, 0, np.arange(5))
+        flat = draw_samples_flat(
+            DistArray.from_list(arrays),
+            params.samples_per_pe(5, 2), rng, 0, np.arange(5),
+        )
+        for i, r in enumerate(ref):
+            assert np.array_equal(r, flat.segment(i))
+
+
+class TestSamplingEdgeCases:
+    def test_overpartitioning_one(self):
+        """b = 1 disables overpartitioning (classic sample sort)."""
+        params = SamplingParams(oversampling=4, overpartitioning=1)
+        assert params.num_buckets(8) == 8
+        data = [np.arange(20) for _ in range(4)]
+        samples = draw_samples(
+            data, params, 4, 2, CounterRNG(0), 0, np.arange(4)
+        )
+        assert all(s.size == params.samples_per_pe(4, 2) for s in samples)
+
+    def test_single_pe(self):
+        params = SamplingParams(oversampling=2, overpartitioning=2)
+        samples = draw_samples(
+            [np.arange(10)], params, 1, 1, CounterRNG(0), 0, np.arange(1)
+        )
+        assert len(samples) == 1
+        assert np.isin(samples[0], np.arange(10)).all()
+
+    def test_empty_segments_contribute_nothing(self):
+        data = DistArray.from_list(
+            [np.arange(10), np.empty(0, dtype=np.int64), np.arange(5)]
+        )
+        out = draw_samples_flat(data, 4, CounterRNG(0), 0, np.arange(3))
+        assert out.segment(0).size == 4
+        assert out.segment(1).size == 0
+        assert out.segment(2).size == 4
+
+    def test_all_empty(self):
+        data = DistArray.from_list([np.empty(0, dtype=np.int64)] * 3)
+        out = draw_samples_flat(data, 4, CounterRNG(0), 0, np.arange(3))
+        assert out.total == 0
+        assert out.p == 3
+
+    def test_per_segment_counts(self):
+        data = DistArray.from_list([np.arange(30), np.arange(30)])
+        out = draw_samples_flat(
+            data, np.array([2, 5]), CounterRNG(0), 0, np.arange(2)
+        )
+        assert out.sizes().tolist() == [2, 5]
+
+    def test_negative_counts_rejected(self):
+        data = DistArray.from_list([np.arange(5)])
+        with pytest.raises(ValueError):
+            draw_samples_flat(
+                data, np.array([-1]), CounterRNG(0), 0, np.arange(1)
+            )
+
+    def test_samples_come_from_own_segment(self):
+        arrays = [np.full(20, i) for i in range(8)]
+        out = draw_samples_flat(
+            DistArray.from_list(arrays), 6, CounterRNG(5), 0, np.arange(8)
+        )
+        for i in range(8):
+            assert (out.segment(i) == i).all()
+
+
+segments_strategy = st.lists(
+    st.lists(st.integers(-500, 500), min_size=0, max_size=30),
+    min_size=1, max_size=140,
+)
+
+
+class TestSegmentedSortOracle:
+    @given(segments_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_per_segment_sort(self, segs):
+        arrays = [np.asarray(s, dtype=np.int64) for s in segs]
+        dist = DistArray.from_list(arrays)
+        out = segmented_sort_values(dist.values, dist.offsets)
+        expected = np.concatenate(
+            [np.sort(a, kind="stable") for a in arrays]
+        ) if dist.total else dist.values
+        assert np.array_equal(out, expected)
+
+    @given(st.integers(64, 200), st.integers(0, 12), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_radix_composed_path_large_p(self, p, max_len, seed):
+        """Many short bounded-range segments: the key-composed regime."""
+        rng = np.random.default_rng(seed)
+        arrays = [
+            rng.integers(-1000, 1000, size=rng.integers(0, max_len + 1))
+            for _ in range(p)
+        ]
+        dist = DistArray.from_list(arrays)
+        out = segmented_sort_values(dist.values, dist.offsets)
+        expected = (
+            np.concatenate([np.sort(a, kind="stable") for a in arrays])
+            if dist.total else dist.values
+        )
+        assert np.array_equal(out, expected)
+
+    def test_padded_path_wide_values(self):
+        """Near-uniform wide-valued segments: the padded rectangle regime."""
+        rng = np.random.default_rng(0)
+        arrays = [
+            rng.integers(0, 2 ** 62, size=rng.integers(28, 33), dtype=np.int64)
+            for _ in range(100)
+        ]
+        dist = DistArray.from_list(arrays)
+        out = segmented_sort_values(dist.values, dist.offsets)
+        expected = np.concatenate([np.sort(a) for a in arrays])
+        assert np.array_equal(out, expected)
+
+    def test_values_equal_to_dtype_max(self):
+        """Padding uses the dtype max; real max values must survive."""
+        hi = np.iinfo(np.int64).max
+        arrays = [np.array([hi, 3, hi], dtype=np.int64)] * 80
+        dist = DistArray.from_list(arrays)
+        out = segmented_sort_values(dist.values, dist.offsets)
+        assert np.array_equal(out, np.tile([3, hi, hi], 80))
+
+    def test_nan_segments_not_padded_away(self):
+        """NaNs sort after the inf padding — the padded path must decline."""
+        rng = np.random.default_rng(0)
+        arrays = []
+        for i in range(128):
+            a = rng.normal(size=int(rng.integers(3, 6)))
+            if i % 3 == 0:
+                a[0] = np.nan
+            arrays.append(a)
+        dist = DistArray.from_list(arrays)
+        out = segmented_sort_values(dist.values, dist.offsets)
+        expected = np.concatenate([np.sort(a, kind="stable") for a in arrays])
+        assert np.array_equal(out, expected, equal_nan=True)
+        assert not np.isinf(out).any()
+
+    def test_uint64_beyond_int64_range(self):
+        """Small-range uint64 values above 2**63 must not overflow the
+        composed int64 key path."""
+        rng = np.random.default_rng(0)
+        base = np.uint64(2 ** 63)
+        arrays = [
+            base + rng.integers(0, 512, size=5).astype(np.uint64)
+            for _ in range(128)
+        ]
+        dist = DistArray.from_list(arrays)
+        out = segmented_sort_values(dist.values, dist.offsets)
+        expected = np.concatenate([np.sort(a) for a in arrays])
+        assert np.array_equal(out, expected)
+
+
+class TestBucketizeOracle:
+    @given(
+        st.integers(1, 60),
+        st.integers(1, 300),
+        st.sampled_from(["left", "right"]),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_table_matches_searchsorted(self, n_bounds, n_queries, side, seed):
+        rng = np.random.default_rng(seed)
+        lo, hi = sorted(rng.integers(-10_000, 10_000, size=2))
+        bounds = np.sort(rng.integers(lo, hi + 1, size=n_bounds))
+        queries = rng.integers(lo - 100, hi + 100, size=n_queries)
+        expected = np.searchsorted(bounds, queries, side=side)
+        got = _bucketize_with_table(bounds, queries, side)
+        assert np.array_equal(got, expected)
+
+    def test_blockwise_engages_table_path(self):
+        rng = np.random.default_rng(1)
+        p = 3
+        spl = np.sort(rng.integers(0, 2 ** 40, size=64 * p).reshape(p, 64),
+                      axis=1).ravel()
+        offs = np.arange(p + 1, dtype=np.int64) * 64
+        queries = rng.integers(0, 2 ** 40, size=5000 * p)
+        qoffs = np.arange(p + 1, dtype=np.int64) * 5000
+        out = blockwise_searchsorted(spl, offs, queries, qoffs, side="right")
+        expected = np.concatenate([
+            np.searchsorted(
+                spl[offs[s]:offs[s + 1]],
+                queries[qoffs[s]:qoffs[s + 1]], side="right",
+            )
+            for s in range(p)
+        ])
+        assert np.array_equal(out, expected)
+
+    def test_extreme_value_span_falls_back(self):
+        bounds = np.array([-(2 ** 62) - 5, 2 ** 62 + 5])
+        queries = np.array([-(2 ** 63) + 1, 0, 2 ** 62 + 10])
+        assert np.array_equal(
+            _bucketize_with_table(bounds, queries, "left"),
+            np.searchsorted(bounds, queries, side="left"),
+        )

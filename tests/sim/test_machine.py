@@ -120,3 +120,62 @@ class TestPhasesAndRandom:
         sub = m.comm([1, 3, 5])
         assert sub.size == 3
         assert sub.global_pe(1) == 3
+
+
+class TestSampleRNG:
+    def test_sample_rng_keyed_by_seed(self):
+        m1 = SimulatedMachine(4, spec=laptop_like(), seed=3)
+        m2 = SimulatedMachine(4, spec=laptop_like(), seed=3)
+        m3 = SimulatedMachine(4, spec=laptop_like(), seed=4)
+        idx = np.arange(20)
+        assert np.array_equal(m1.sample_rng.words(0, 1, idx),
+                              m2.sample_rng.words(0, 1, idx))
+        assert not np.array_equal(m1.sample_rng.words(0, 1, idx),
+                                  m3.sample_rng.words(0, 1, idx))
+
+    def test_sample_rng_survives_reset(self):
+        m = SimulatedMachine(2, spec=laptop_like(), seed=7)
+        before = m.sample_rng.words(1, 0, np.arange(16))
+        m.advance(0, 1.0)
+        m.reset()
+        assert np.array_equal(before, m.sample_rng.words(1, 0, np.arange(16)))
+
+
+class TestWallProfile:
+    def test_disabled_by_default(self):
+        m = SimulatedMachine(2, spec=laptop_like())
+        with m.phase(PHASE_LOCAL_SORT):
+            m.advance(0, 1.0)
+        assert m.wall_profile is None
+
+    def test_attributes_wall_time_to_phases(self):
+        m = SimulatedMachine(2, spec=laptop_like())
+        profile = m.enable_wall_profile()
+        with m.phase(PHASE_LOCAL_SORT):
+            m.advance(0, 1.0)
+        with m.phase("custom"):
+            m.advance(1, 1.0)
+        assert PHASE_LOCAL_SORT in profile
+        assert "custom" in profile
+        assert all(v >= 0.0 for v in profile.values())
+
+    def test_nested_phases_attribute_to_innermost(self):
+        m = SimulatedMachine(2, spec=laptop_like())
+        profile = m.enable_wall_profile()
+        with m.phase("outer"):
+            with m.phase("inner"):
+                m.advance(0, 1.0)
+        assert "inner" in profile and "outer" in profile
+
+    def test_reset_clears_in_place(self):
+        m = SimulatedMachine(2, spec=laptop_like())
+        profile = m.enable_wall_profile()
+        with m.phase(PHASE_LOCAL_SORT):
+            m.advance(0, 1.0)
+        assert profile
+        m.reset()
+        assert profile == {}  # same dict, cleared in place
+        assert m.wall_profile is profile
+        with m.phase(PHASE_LOCAL_SORT):
+            m.advance(0, 1.0)
+        assert PHASE_LOCAL_SORT in profile
