@@ -100,6 +100,44 @@ class SortResult:
         row.update(self.params)
         return row
 
+    def summary_dict(self) -> Dict[str, object]:
+        """JSON-serializable summary of the run (no output arrays).
+
+        This is the persistence boundary used by the campaign cache and the
+        golden-trace regression tests: every value is a plain Python scalar
+        (or a dict of them), so two identical runs serialize to byte-identical
+        JSON regardless of which process executed them.
+        """
+        return {
+            "algorithm": self.algorithm,
+            "p": int(self.p),
+            "n_total": int(self.n_total),
+            "total_time_s": float(self.total_time),
+            "imbalance": float(self.imbalance),
+            "phase_times": {
+                str(k): float(v) for k, v in sorted(self.phase_times.items())
+            },
+            "traffic": {str(k): int(v) for k, v in sorted(self.traffic.items())},
+            "params": jsonify(self.params),
+        }
+
+
+def jsonify(obj: object) -> object:
+    """Recursively convert numpy scalars/arrays into JSON-safe Python values."""
+    if isinstance(obj, dict):
+        return {str(k): jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonify(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return [jsonify(v) for v in obj.tolist()]
+    if isinstance(obj, (np.bool_, bool)):
+        return bool(obj)
+    if isinstance(obj, (np.integer, int)):
+        return int(obj)
+    if isinstance(obj, (np.floating, float)):
+        return float(obj)
+    return obj
+
 
 def _resolve_algorithm(name: str, engine: str = "flat") -> Callable:
     if engine not in ENGINES:

@@ -27,6 +27,7 @@ from repro.experiments.harness import (
     SCALE_PROFILES,
 )
 from repro.experiments import (
+    campaign,
     level_table,
     weak_scaling,
     slowdown,
@@ -40,6 +41,7 @@ __all__ = [
     "RunConfig",
     "scale_profile",
     "SCALE_PROFILES",
+    "campaign",
     "level_table",
     "weak_scaling",
     "slowdown",

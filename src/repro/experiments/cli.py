@@ -3,18 +3,24 @@
 Usage::
 
     python -m repro.experiments.cli table1
-    python -m repro.experiments.cli table2 --scale quick
+    python -m repro.experiments.cli table2 --scale quick --workload zipf
     python -m repro.experiments.cli fig7 fig8 fig10 fig11 fig12 sec73
     python -m repro.experiments.cli all --scale medium
+
+    # Sharded campaign: expand every experiment into cells, fan them over
+    # worker processes, cache cell summaries on disk, aggregate the rows.
+    python -m repro.experiments.cli campaign --profile quick --jobs 4
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List
 
 from repro.experiments import (
+    campaign as campaign_mod,
     comparison,
     level_table,
     overpartitioning,
@@ -22,22 +28,126 @@ from repro.experiments import (
     variance,
     weak_scaling,
 )
+from repro.experiments.harness import SCALE_PROFILES
+from repro.workloads.generators import WORKLOADS
 
 
 EXPERIMENTS: Dict[str, Callable[..., str]] = {
-    "table1": lambda scale=None: level_table.run(),
-    "table2": lambda scale=None: weak_scaling.run(scale=scale),
-    "fig7": lambda scale=None: slowdown.run(scale=scale),
-    "fig8": lambda scale=None: weak_scaling.run(scale=scale),
-    "fig10": lambda scale=None: overpartitioning.run(scale=scale),
-    "fig11": lambda scale=None: overpartitioning.run(scale=scale),
-    "fig12": lambda scale=None: variance.run(scale=scale),
-    "sec73": lambda scale=None: comparison.run(scale=scale),
+    "table1": lambda scale=None, workload="uniform": level_table.run(workload=workload),
+    "table2": lambda scale=None, workload="uniform": weak_scaling.run(scale=scale, workload=workload),
+    "fig7": lambda scale=None, workload="uniform": slowdown.run(scale=scale, workload=workload),
+    "fig8": lambda scale=None, workload="uniform": weak_scaling.run(scale=scale, workload=workload),
+    "fig10": lambda scale=None, workload="uniform": overpartitioning.run(scale=scale, workload=workload),
+    "fig11": lambda scale=None, workload="uniform": overpartitioning.run(scale=scale, workload=workload),
+    "fig12": lambda scale=None, workload="uniform": variance.run(scale=scale, workload=workload),
+    "sec73": lambda scale=None, workload="uniform": comparison.run(scale=scale, workload=workload),
 }
 
 
+def campaign_main(argv: List[str] | None = None) -> int:
+    """Run a sharded experiment campaign (``cli campaign ...``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments campaign",
+        description=(
+            "Expand the experiments into (machine, algorithm, config, workload, "
+            "repetition) cells, execute them sharded over worker processes with "
+            "an on-disk resume cache, and aggregate the paper's tables/figures."
+        ),
+    )
+    parser.add_argument(
+        "--profile", default=None, choices=sorted(SCALE_PROFILES),
+        help="scale profile (default: $REPRO_SCALE or 'quick'); "
+             "'paper' reaches p=32768 on the flat engine",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = serial; sharded output is byte-identical)",
+    )
+    parser.add_argument(
+        "--experiments", nargs="+", default=None,
+        choices=sorted(campaign_mod.CAMPAIGN_EXPERIMENTS),
+        help="subset of experiments (default: all, or the profile's own list)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="+", default=None, choices=sorted(WORKLOADS),
+        help="workload axis; the first named workload gets the full grid "
+             "(default: uniform zipf nearly_sorted duplicates staggered)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="cell summary cache directory (default: .campaign-cache/<profile>)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="run without any on-disk cache (no resume, nothing written)",
+    )
+    parser.add_argument(
+        "--no-resume", action="store_true",
+        help="ignore existing cached cells (they are overwritten as cells finish)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="write the aggregated campaign summary as canonical JSON",
+    )
+    parser.add_argument(
+        "--require-cached", action="store_true",
+        help="fail if any cell had to execute (CI re-run assertion)",
+    )
+    parser.add_argument("--quiet", action="store_true", help="no per-cell progress")
+    args = parser.parse_args(argv)
+
+    if args.require_cached and (args.no_cache or args.no_resume):
+        parser.error(
+            "--require-cached cannot succeed with --no-cache/--no-resume: "
+            "every cell would execute"
+        )
+
+    cache_dir = args.cache_dir
+    if cache_dir is None and not args.no_cache:
+        from repro.experiments.harness import scale_profile  # resolve default name
+        import os
+
+        name = args.profile or os.environ.get("REPRO_SCALE", "quick")
+        scale_profile(name)  # validate early
+        cache_dir = Path(".campaign-cache") / name
+
+    progress = None if args.quiet else lambda msg: print(msg, file=sys.stderr, flush=True)
+    summary, stats = campaign_mod.run_campaign(
+        profile=args.profile,
+        experiments=args.experiments,
+        workloads=args.workloads,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else cache_dir,
+        resume=not args.no_resume,
+        progress=progress,
+    )
+
+    print(campaign_mod.format_campaign(summary))
+    print(
+        f"\ncampaign stats: cells={stats['cells']} executed={stats['executed']} "
+        f"cache_hits={stats['cache_hits']}"
+    )
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(campaign_mod.campaign_to_json(summary))
+        print(f"wrote {args.output}")
+    if args.require_cached and stats["executed"] > 0:
+        print(
+            f"FAIL: --require-cached but {stats['executed']} cells executed "
+            "(cache miss)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
-    """Run the named experiments and print their formatted output."""
+    """Run the named experiments (or a campaign) and print formatted output."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "campaign":
+        return campaign_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro.experiments",
         description="Reproduce the evaluation of 'Practical Massively Parallel Sorting'.",
@@ -45,13 +155,25 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help=f"experiment names ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+        help=f"experiment names ({', '.join(sorted(EXPERIMENTS))}), 'all', "
+             "or 'campaign' (see 'campaign --help')",
     )
     parser.add_argument(
         "--scale",
         default=None,
-        choices=["quick", "medium", "large"],
-        help="scale profile (default: $REPRO_SCALE or 'quick')",
+        # The serial figure mode ignores the campaign-only profile keys
+        # (flat-only engine, level policy, validation caps) that make the
+        # 'paper' scale feasible — reaching p=32768 requires the campaign
+        # subcommand.
+        choices=sorted(n for n in SCALE_PROFILES if n != "paper"),
+        help="scale profile (default: $REPRO_SCALE or 'quick'); "
+             "the 'paper' scale is campaign-only",
+    )
+    parser.add_argument(
+        "--workload",
+        default="uniform",
+        choices=sorted(WORKLOADS),
+        help="input distribution fed to every experiment (default: uniform)",
     )
     args = parser.parse_args(argv)
 
@@ -65,7 +187,7 @@ def main(argv: List[str] | None = None) -> int:
         if name not in EXPERIMENTS:
             parser.error(f"unknown experiment {name!r}; known: {', '.join(sorted(EXPERIMENTS))}")
         print(f"=== {name} ===")
-        print(EXPERIMENTS[name](scale=args.scale))
+        print(EXPERIMENTS[name](scale=args.scale, workload=args.workload))
         print()
     return 0
 

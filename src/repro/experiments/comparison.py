@@ -35,6 +35,7 @@ def comparison_rows(
     baselines: Sequence[str] = BASELINES,
     node_size: int = 4,
     repetitions: int = 2,
+    workload: str = "uniform",
     runner: Optional[ExperimentRunner] = None,
 ) -> List[Dict[str, object]]:
     """One row per (p, algorithm) with time and the slowdown relative to AMS."""
@@ -44,7 +45,7 @@ def comparison_rows(
         candidates = [k for k in ams_levels if k == 1 or p > node_size]
         ams_cfg = RunConfig(
             algorithm="ams", p=p, n_per_pe=n_per_pe, node_size=node_size,
-            repetitions=repetitions,
+            repetitions=repetitions, workload=workload,
         )
         best_ams = runner.best_level_time(ams_cfg, candidates)
         ams_time = float(best_ams["time_median_s"])
@@ -52,6 +53,7 @@ def comparison_rows(
             {
                 "p": p,
                 "algorithm": "ams",
+                "workload": workload,
                 "levels": best_ams["levels"],
                 "time_s": ams_time,
                 "slowdown_vs_ams": 1.0,
@@ -61,13 +63,14 @@ def comparison_rows(
         for baseline in baselines:
             cfg = RunConfig(
                 algorithm=baseline, p=p, n_per_pe=n_per_pe, node_size=node_size,
-                repetitions=repetitions, levels=1,
+                repetitions=repetitions, levels=1, workload=workload,
             )
             row = runner.run(cfg)
             rows.append(
                 {
                     "p": p,
                     "algorithm": baseline,
+                    "workload": workload,
                     "levels": 1,
                     "time_s": row["time_median_s"],
                     "slowdown_vs_ams": float(row["time_median_s"]) / ams_time,
@@ -77,13 +80,14 @@ def comparison_rows(
     return rows
 
 
-def run(scale: Optional[str] = None) -> str:
+def run(scale: Optional[str] = None, workload: str = "uniform") -> str:
     """Run the scaled Section 7.3 comparison and return the formatted table."""
     profile = scale_profile(scale)
     rows = comparison_rows(
         p_values=profile["p_values"],
         n_per_pe=int(profile["n_per_pe_values"][0]),
         node_size=int(profile["node_size"]),
+        workload=workload,
     )
     return format_table(
         rows,

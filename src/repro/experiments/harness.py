@@ -21,6 +21,16 @@ from repro.workloads.generators import per_pe_workload
 #: simulation must shrink both, keeping the *ratios* (per-PE work vs startup
 #: cost) in a regime where the paper's qualitative effects are visible.
 SCALE_PROFILES: Dict[str, Dict[str, object]] = {
+    "tiny": {
+        # Golden-trace profile: small enough that a full campaign runs in
+        # seconds inside the tier-1 test-suite, large enough that every
+        # experiment produces non-degenerate rows (p > node_size so multi-level
+        # plans exist).
+        "p_values": (8, 16),
+        "n_per_pe_values": (60, 240),
+        "repetitions": 2,
+        "node_size": 4,
+    },
     "quick": {
         "p_values": (16, 64, 256),
         "n_per_pe_values": (200, 2000, 20000),
@@ -38,6 +48,26 @@ SCALE_PROFILES: Dict[str, Dict[str, object]] = {
         "n_per_pe_values": (1000, 10000, 100000),
         "repetitions": 3,
         "node_size": 16,
+    },
+    "paper": {
+        # The paper's machine sizes (Table 2 / Figs. 7-12).  Only the flat
+        # engine can simulate these; the per-PE reference is infeasible past
+        # ~1024 PEs, so campaign cells above `reference_max_p` are pinned by a
+        # seeded-determinism re-run (like bench_engine_scaling) instead of a
+        # cross-engine comparison, and skip output validation above
+        # `validate_max_p`.  n/p is scaled down (the paper's 1e5..1e7 does not
+        # fit a pure-Python simulation); the level policy follows Table 1:
+        # three levels at p = 2^15, two below.
+        "p_values": (512, 2048, 8192, 32768),
+        "n_per_pe_values": (1000,),
+        "repetitions": 1,
+        "node_size": 16,
+        "engine": "flat",
+        "level_counts": "paper",
+        "experiments": ("weak_scaling",),
+        "workloads": ("uniform",),
+        "validate_max_p": 1024,
+        "reference_max_p": 1024,
     },
 }
 
@@ -81,6 +111,7 @@ class RunConfig:
     overpartitioning: Optional[int] = None
     oversampling: Optional[float] = None
     validate: bool = True
+    engine: str = "flat"
 
     def label(self) -> str:
         """Short human readable identifier."""
@@ -88,6 +119,45 @@ class RunConfig:
             f"{self.algorithm}-k{self.levels}-p{self.p}-n{self.n_per_pe}"
             f"-{self.workload}"
         )
+
+
+def build_algo_config(
+    algorithm: str,
+    p: int,
+    n_per_pe: int,
+    levels: int,
+    node_size: int,
+    delivery: str = "deterministic",
+    overpartitioning: Optional[int] = None,
+    oversampling: Optional[float] = None,
+):
+    """Algorithm config for one run (shared by the harness and campaign cells).
+
+    Baselines take no config (``None``); AMS-sort optionally gets explicit
+    sampling parameters when the experiment sweeps them.
+    """
+    if algorithm == "ams":
+        sampling = None
+        if overpartitioning is not None or oversampling is not None:
+            from repro.blocks.sampling import SamplingParams, default_oversampling
+
+            sampling = SamplingParams(
+                oversampling=(
+                    oversampling
+                    if oversampling is not None
+                    else default_oversampling(p * n_per_pe)
+                ),
+                overpartitioning=(
+                    overpartitioning if overpartitioning is not None else 16
+                ),
+                per_pe=True,
+            )
+        return AMSConfig(
+            levels=levels, node_size=node_size, delivery=delivery, sampling=sampling
+        )
+    if algorithm == "rlm":
+        return RLMConfig(levels=levels, node_size=node_size, delivery=delivery)
+    return None
 
 
 class ExperimentRunner:
@@ -99,33 +169,16 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
     def _build_config(self, cfg: RunConfig):
-        if cfg.algorithm == "ams":
-            sampling = None
-            if cfg.overpartitioning is not None or cfg.oversampling is not None:
-                from repro.blocks.sampling import SamplingParams, default_oversampling
-
-                sampling = SamplingParams(
-                    oversampling=(
-                        cfg.oversampling
-                        if cfg.oversampling is not None
-                        else default_oversampling(cfg.p * cfg.n_per_pe)
-                    ),
-                    overpartitioning=(
-                        cfg.overpartitioning if cfg.overpartitioning is not None else 16
-                    ),
-                    per_pe=True,
-                )
-            return AMSConfig(
-                levels=cfg.levels,
-                node_size=cfg.node_size,
-                delivery=cfg.delivery,
-                sampling=sampling,
-            )
-        if cfg.algorithm == "rlm":
-            return RLMConfig(
-                levels=cfg.levels, node_size=cfg.node_size, delivery=cfg.delivery
-            )
-        return None
+        return build_algo_config(
+            cfg.algorithm,
+            p=cfg.p,
+            n_per_pe=cfg.n_per_pe,
+            levels=cfg.levels,
+            node_size=cfg.node_size,
+            delivery=cfg.delivery,
+            overpartitioning=cfg.overpartitioning,
+            oversampling=cfg.oversampling,
+        )
 
     def run_once(self, cfg: RunConfig, repetition: int = 0) -> SortResult:
         """Run one repetition of a configuration and return its result."""
@@ -141,6 +194,7 @@ class ExperimentRunner:
             algorithm=cfg.algorithm,
             config=algo_config,
             validate=cfg.validate,
+            engine=cfg.engine,
         )
         result.params.update(
             {

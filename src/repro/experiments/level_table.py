@@ -36,8 +36,16 @@ def level_table_rows(
     return rows
 
 
-def run(p_values: Optional[Sequence[int]] = None, node_size: int = 16) -> str:
-    """Produce the Table 1 comparison as formatted text."""
+def run(
+    p_values: Optional[Sequence[int]] = None,
+    node_size: int = 16,
+    workload: Optional[str] = None,
+) -> str:
+    """Produce the Table 1 comparison as formatted text.
+
+    ``workload`` is accepted for CLI uniformity with the other experiments
+    but has no effect: the level plan depends only on the machine shape.
+    """
     if p_values is None:
         p_values = (512, 2048, 8192, 32768)
     rows = level_table_rows(p_values=p_values, node_size=node_size)

@@ -30,6 +30,7 @@ def imbalance_sweep_rows(
     levels: int = 1,
     node_size: int = 4,
     repetitions: int = 2,
+    workload: str = "uniform",
     runner: Optional[ExperimentRunner] = None,
 ) -> List[Dict[str, object]]:
     """Figure 10: maximum output imbalance vs samples per PE for several ``b``."""
@@ -47,6 +48,7 @@ def imbalance_sweep_rows(
                 repetitions=repetitions,
                 overpartitioning=int(b),
                 oversampling=float(a),
+                workload=workload,
             )
             row = runner.run(cfg)
             rows.append(
@@ -54,6 +56,7 @@ def imbalance_sweep_rows(
                     "samples_per_pe": ab,
                     "b": b,
                     "a": a,
+                    "workload": workload,
                     "imbalance": row["imbalance"],
                     "time_median_s": row["time_median_s"],
                 }
@@ -69,6 +72,7 @@ def walltime_sweep_rows(
     levels: int = 1,
     node_size: int = 4,
     repetitions: int = 2,
+    workload: str = "uniform",
     runner: Optional[ExperimentRunner] = None,
 ) -> List[Dict[str, object]]:
     """Figure 11: total wall-time and splitter-selection time vs samples per PE."""
@@ -86,6 +90,7 @@ def walltime_sweep_rows(
                 repetitions=repetitions,
                 overpartitioning=b,
                 oversampling=float(a),
+                workload=workload,
             )
             row = runner.run(cfg)
             rows.append(
@@ -93,6 +98,7 @@ def walltime_sweep_rows(
                     "samples_per_pe": ab,
                     "a": a,
                     "b": b,
+                    "workload": workload,
                     "total_time_s": row["time_median_s"],
                     "sampling_time_s": row.get(f"phase_{PHASE_SPLITTER_SELECTION}", 0.0),
                     "imbalance": row["imbalance"],
@@ -101,22 +107,22 @@ def walltime_sweep_rows(
     return rows
 
 
-def run(scale: Optional[str] = None) -> str:
+def run(scale: Optional[str] = None, workload: str = "uniform") -> str:
     """Run the scaled Figures 10/11 sweeps and return formatted tables."""
     profile = scale_profile(scale)
     p = int(profile["p_values"][0])
-    n_per_pe = int(profile["n_per_pe_values"][1])
+    n_per_pe = int(profile["n_per_pe_values"][min(1, len(profile["n_per_pe_values"]) - 1)])
     node_size = int(profile["node_size"])
     text = []
     text.append(format_table(
-        imbalance_sweep_rows(p, n_per_pe, node_size=node_size),
+        imbalance_sweep_rows(p, n_per_pe, node_size=node_size, workload=workload),
         title=(
             f"Figure 10 (scaled, p={p}, n/p={n_per_pe}) — maximum imbalance vs "
             "samples per PE (overpartitioning b reduces imbalance)"
         ),
     ))
     text.append(format_table(
-        walltime_sweep_rows(p, n_per_pe, node_size=node_size),
+        walltime_sweep_rows(p, n_per_pe, node_size=node_size, workload=workload),
         title=(
             f"Figure 11 (scaled, p={p}, n/p={n_per_pe}) — wall-time and "
             "splitter-selection time vs samples per PE"

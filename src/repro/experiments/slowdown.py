@@ -44,6 +44,7 @@ def slowdown_rows(
                 {
                     "p": p,
                     "n_per_pe": n_per_pe,
+                    "workload": workload,
                     "ams_levels": best_ams["levels"],
                     "ams_time_s": best_ams["time_median_s"],
                     "rlm_levels": best_rlm["levels"],
@@ -56,7 +57,11 @@ def slowdown_rows(
     return rows
 
 
-def run(scale: Optional[str] = None, repetitions: Optional[int] = None) -> str:
+def run(
+    scale: Optional[str] = None,
+    repetitions: Optional[int] = None,
+    workload: str = "uniform",
+) -> str:
     """Run the scaled Figure 7 experiment and return the formatted series."""
     profile = scale_profile(scale)
     reps = repetitions if repetitions is not None else int(profile["repetitions"])
@@ -65,6 +70,7 @@ def run(scale: Optional[str] = None, repetitions: Optional[int] = None) -> str:
         n_per_pe_values=profile["n_per_pe_values"],
         repetitions=reps,
         node_size=int(profile["node_size"]),
+        workload=workload,
     )
     return format_table(
         rows,

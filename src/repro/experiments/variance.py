@@ -23,6 +23,7 @@ def variance_rows(
     level_counts: Sequence[int] = (1, 2, 3),
     repetitions: int = 5,
     node_size: int = 4,
+    workload: str = "uniform",
     runner: Optional[ExperimentRunner] = None,
 ) -> List[Dict[str, object]]:
     """One row per (p, n/p, levels) with the distribution of modelled times."""
@@ -40,6 +41,7 @@ def variance_rows(
                     levels=levels,
                     node_size=node_size,
                     repetitions=repetitions,
+                    workload=workload,
                 )
                 times = [
                     runner.run_once(cfg, rep).total_time for rep in range(repetitions)
@@ -50,6 +52,7 @@ def variance_rows(
                         "p": p,
                         "n_per_pe": n_per_pe,
                         "levels": levels,
+                        "workload": workload,
                         "median_s": stats["median"],
                         "min_s": stats["min"],
                         "max_s": stats["max"],
@@ -60,7 +63,9 @@ def variance_rows(
     return rows
 
 
-def run(scale: Optional[str] = None, repetitions: int = 5) -> str:
+def run(
+    scale: Optional[str] = None, repetitions: int = 5, workload: str = "uniform"
+) -> str:
     """Run the scaled Figure 12 experiment and return the formatted table."""
     profile = scale_profile(scale)
     rows = variance_rows(
@@ -68,6 +73,7 @@ def run(scale: Optional[str] = None, repetitions: int = 5) -> str:
         n_per_pe_values=profile["n_per_pe_values"][:2],
         repetitions=repetitions,
         node_size=int(profile["node_size"]),
+        workload=workload,
     )
     return format_table(
         rows,

@@ -104,7 +104,11 @@ def paper_reference_rows() -> List[Dict[str, object]]:
     return out
 
 
-def run(scale: Optional[str] = None, repetitions: Optional[int] = None) -> str:
+def run(
+    scale: Optional[str] = None,
+    repetitions: Optional[int] = None,
+    workload: str = "uniform",
+) -> str:
     """Run the scaled weak-scaling experiment and format Table 2 + Figure 8."""
     profile = scale_profile(scale)
     reps = repetitions if repetitions is not None else int(profile["repetitions"])
@@ -113,6 +117,7 @@ def run(scale: Optional[str] = None, repetitions: Optional[int] = None) -> str:
         n_per_pe_values=profile["n_per_pe_values"],
         repetitions=reps,
         node_size=int(profile["node_size"]),
+        workload=workload,
     )
     text = []
     text.append(format_table(

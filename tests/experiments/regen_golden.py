@@ -1,0 +1,52 @@
+"""Regenerate the golden-trace campaign summaries under ``golden/``.
+
+Run this ONLY when a change intentionally shifts modelled clocks, sampled
+elements or campaign aggregation (e.g. an RNG-stream move like PR 2/PR 3);
+the diff of the regenerated files is the reviewable record of the shift::
+
+    PYTHONPATH=src python tests/experiments/regen_golden.py
+
+The golden campaign is the ``tiny`` profile with the uniform + zipf
+workloads — small enough that the regression test re-runs it inside the
+tier-1 suite, wide enough to cover every experiment, both algorithms, the
+baselines and a non-uniform workload row per experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.campaign import run_campaign
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_PROFILE = "tiny"
+GOLDEN_WORKLOADS = ("uniform", "zipf")
+
+
+def golden_summary():
+    """The deterministic campaign summary the golden files are cut from."""
+    summary, _ = run_campaign(
+        profile=GOLDEN_PROFILE, workloads=GOLDEN_WORKLOADS, jobs=1
+    )
+    return summary
+
+
+def main() -> int:
+    summary = golden_summary()
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    meta_doc = dict(summary["meta"])
+    (GOLDEN_DIR / "meta.json").write_text(
+        json.dumps(meta_doc, indent=2, sort_keys=True) + "\n"
+    )
+    for experiment, sections in summary["experiments"].items():
+        path = GOLDEN_DIR / f"{experiment}.json"
+        path.write_text(json.dumps(sections, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    print(f"wrote {GOLDEN_DIR / 'meta.json'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

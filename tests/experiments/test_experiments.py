@@ -85,6 +85,13 @@ class TestOverpartitioning:
         assert len(rows) == 2
         assert all(row["sampling_time_s"] >= 0 for row in rows)
 
+    def test_workload_axis(self, runner):
+        rows = overpartitioning.imbalance_sweep_rows(
+            p=8, n_per_pe=200, b_values=(8,), samples_per_pe_values=(16,),
+            node_size=2, repetitions=1, workload="duplicates", runner=runner,
+        )
+        assert rows and all(row["workload"] == "duplicates" for row in rows)
+
 
 class TestVariance:
     def test_rows(self, runner):
@@ -94,7 +101,15 @@ class TestVariance:
         )
         assert len(rows) == 1
         assert rows[0]["runs"] == 3
+        assert rows[0]["workload"] == "uniform"
         assert rows[0]["min_s"] <= rows[0]["median_s"] <= rows[0]["max_s"]
+
+    def test_workload_axis(self, runner):
+        rows = variance.variance_rows(
+            p_values=(4,), n_per_pe_values=(100,), level_counts=(1,),
+            repetitions=3, node_size=2, workload="zipf", runner=runner,
+        )
+        assert rows[0]["workload"] == "zipf"
 
 
 class TestComparison:
@@ -107,6 +122,14 @@ class TestComparison:
         assert algos == {"ams", "mergesort"}
         for row in rows:
             assert row["time_s"] > 0
+            assert row["workload"] == "uniform"
+
+    def test_workload_axis(self, runner):
+        rows = comparison.comparison_rows(
+            p_values=(8,), n_per_pe=100, baselines=("samplesort",),
+            node_size=2, repetitions=1, workload="staggered", runner=runner,
+        )
+        assert rows and all(row["workload"] == "staggered" for row in rows)
 
 
 class TestCLI:
@@ -119,6 +142,14 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Table 1" in out
 
+    def test_main_workload_flag(self, capsys):
+        assert main(["table1", "--workload", "zipf"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
     def test_main_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["does-not-exist"])
+
+    def test_paper_scale_is_campaign_only(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--scale", "paper"])

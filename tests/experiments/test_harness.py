@@ -33,6 +33,16 @@ class TestScaleProfiles:
         assert PAPER_TABLE2_SECONDS[10**5][512] == pytest.approx(0.0228)
         assert PAPER_TABLE2_SECONDS[10**7][32768] == pytest.approx(6.0932)
 
+    def test_tiny_profile_supports_multilevel(self):
+        profile = scale_profile("tiny")
+        assert all(p > profile["node_size"] for p in profile["p_values"])
+
+    def test_paper_profile_reaches_the_papers_machine(self):
+        profile = scale_profile("paper")
+        assert max(profile["p_values"]) == 32768
+        assert profile["engine"] == "flat"
+        assert profile["reference_max_p"] == 1024
+
 
 class TestRunConfig:
     def test_label(self):
@@ -59,6 +69,16 @@ class TestExperimentRunner:
         assert row["algorithm"] == "rlm"
         assert row["time_min_s"] <= row["time_median_s"] <= row["time_max_s"]
         assert "phase_local_sort" in row
+
+    def test_run_once_reference_engine_matches_flat(self, runner):
+        cfg = RunConfig(algorithm="ams", p=8, n_per_pe=100, levels=2, node_size=2,
+                        repetitions=1)
+        from dataclasses import replace
+
+        flat = runner.run_once(cfg)
+        ref = runner.run_once(replace(cfg, engine="reference"))
+        assert flat.total_time == ref.total_time
+        assert flat.summary_dict() == ref.summary_dict()
 
     def test_run_with_sampling_overrides(self, runner):
         cfg = RunConfig(algorithm="ams", p=4, n_per_pe=200, levels=1, node_size=2,
