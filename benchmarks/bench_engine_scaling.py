@@ -122,10 +122,12 @@ def run_comparison(
             p, n_per_pe, "flat", flat_repeats, profile=profile
         )
         res_flat = flat_results[0]
+        levels = _levels_for(p)
         row = {
             "p": int(p),
             "n_per_pe": int(n_per_pe),
-            "levels": _levels_for(p),
+            "levels": levels,
+            "plan": [int(r) for r in AMSConfig(levels=levels).plan_for(p)],
             "wall_flat_s": wall_flat,
             "modelled_time_s": res_flat.total_time,
             "imbalance": res_flat.imbalance,
@@ -198,11 +200,16 @@ def run_comparison(
 
 
 def write_json(rows, path: Path) -> None:
-    """Write the measurement rows as a JSON document."""
+    """Write the measurement rows as a JSON document.
+
+    The recursion depth is a *per-row* property (``levels`` and ``plan`` in
+    each row — the paper's largest machine runs three levels while the rest
+    run two), so the document deliberately carries no global level count.
+    """
     doc = {
         "benchmark": "engine_scaling",
         "algorithm": "ams",
-        "config": {"levels": LEVELS, "spec": "supermuc-like"},
+        "config": {"spec": "supermuc-like"},
         "rows": rows,
     }
     path.parent.mkdir(parents=True, exist_ok=True)

@@ -12,9 +12,12 @@ phase).
 This is the regression trajectory for engine-performance PRs: run it before
 and after a change and compare the per-phase seconds, e.g. ::
 
-    PYTHONPATH=src python benchmarks/profile_engine.py --p 32768 --levels 3
-    PYTHONPATH=src python benchmarks/profile_engine.py --p 4096 --algorithm rlm
+    python benchmarks/profile_engine.py --p 32768 --levels 3
+    python benchmarks/profile_engine.py --p 4096 --algorithm rlm --repeat 5
 
+(``PYTHONPATH=src`` is optional: the script puts the in-repo ``src`` tree on
+``sys.path`` itself.)  ``--repeat N`` reports the per-phase *median* over N
+runs so before/after comparisons are stable against machine noise;
 ``--cprofile`` additionally dumps the top functions by internal time for
 drilling into a phase.
 """
@@ -26,13 +29,14 @@ import cProfile
 import io
 import json
 import pstats
+import statistics
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
-sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 from repro.core.config import AMSConfig, RLMConfig
 from repro.core.runner import run_on_machine
@@ -82,6 +86,15 @@ def format_profile(wall: float, phase_wall: dict) -> str:
     return "\n".join(lines)
 
 
+def median_profile(walls, phase_walls):
+    """Per-phase medians over repeated runs (phases missing in a run count 0)."""
+    phases = sorted({ph for pw in phase_walls for ph in pw})
+    return statistics.median(walls), {
+        ph: statistics.median([pw.get(ph, 0.0) for pw in phase_walls])
+        for ph in phases
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--p", type=int, default=4096, help="simulated PEs")
@@ -90,26 +103,39 @@ def main(argv=None) -> int:
     parser.add_argument("--algorithm", default="ams", choices=("ams", "rlm"))
     parser.add_argument("--engine", default="flat", choices=("flat", "reference"))
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="run N times and report the per-phase median "
+                             "(stabilises before/after comparisons)")
     parser.add_argument("--cprofile", action="store_true",
-                        help="also dump the top functions by internal time")
+                        help="also dump the top functions by internal time "
+                             "(first run only)")
     parser.add_argument("--cprofile-limit", type=int, default=25)
     parser.add_argument("--json", type=Path, default=None,
                         help="append the profile as one JSON line to this file")
     args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error("--repeat must be at least 1")
 
     profiler = cProfile.Profile() if args.cprofile else None
-    if profiler is not None:
-        profiler.enable()
-    wall, phase_wall, result = profile_run(
-        args.p, n_per_pe=args.n_per_pe, levels=args.levels,
-        algorithm=args.algorithm, seed=args.seed, engine=args.engine,
-    )
-    if profiler is not None:
-        profiler.disable()
+    walls, phase_walls = [], []
+    result = None
+    for rep in range(args.repeat):
+        if profiler is not None and rep == 0:
+            profiler.enable()
+        wall_i, phase_i, result = profile_run(
+            args.p, n_per_pe=args.n_per_pe, levels=args.levels,
+            algorithm=args.algorithm, seed=args.seed, engine=args.engine,
+        )
+        if profiler is not None and rep == 0:
+            profiler.disable()
+        walls.append(wall_i)
+        phase_walls.append(phase_i)
+    wall, phase_wall = median_profile(walls, phase_walls)
 
+    label = "median of %d runs" % args.repeat if args.repeat > 1 else "1 run"
     print(
         f"{args.algorithm} p={args.p} n/p={args.n_per_pe} levels={args.levels} "
-        f"engine={args.engine}: modelled={result.total_time:.5f}s"
+        f"engine={args.engine}: modelled={result.total_time:.5f}s ({label})"
     )
     print(format_profile(wall, phase_wall))
 
@@ -127,6 +153,7 @@ def main(argv=None) -> int:
             "levels": args.levels,
             "algorithm": args.algorithm,
             "engine": args.engine,
+            "repeat": args.repeat,
             "wall_s": wall,
             "phase_wall_s": phase_wall,
             "modelled_time_s": result.total_time,

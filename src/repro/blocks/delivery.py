@@ -630,6 +630,207 @@ def _flat_assign_deterministic(
     return parts, group_loads, capacities
 
 
+def _flat_assign_deterministic_batched(
+    flat_sizes: np.ndarray,
+    starts_flat: np.ndarray,
+    piece_off: np.ndarray,
+    p_k: np.ndarray,
+    r_k: np.ndarray,
+    sel: np.ndarray,
+    isl_off: np.ndarray,
+    sub_sizes: Sequence[np.ndarray],
+    colmaj: bool = False,
+) -> Optional[np.ndarray]:
+    """:func:`_flat_assign_deterministic` for many islands in one pass.
+
+    Runs the two-phase deterministic assignment of every ``(island, group)``
+    pair of the selected islands at once: phase-1 small pieces place by a
+    segmented enumeration count, phase-2 large pieces split against the
+    residual capacities through one composed-key interval merge (the
+    batched analogue of :func:`~repro.dist.flatops.split_intervals`) —
+    no Python loop over islands or groups.  Emits exactly the messages of
+    the per-island reference; their order differs, which is unobservable
+    because the deterministic assignment sends at most one message per
+    ``(source, destination)`` pair.  Returns the stacked
+    ``(src, dest, start, length)`` message matrix with batch-rank sources
+    and destinations, or ``None`` when the composed keys would overflow
+    (the caller then falls back to the per-island path).
+    """
+    sel = np.asarray(sel, dtype=np.int64)
+    n_sel = int(sel.size)
+    pcs = p_k[sel] * r_k[sel]
+    total_pieces = int(pcs.sum())
+    if total_pieces == 0:
+        return None
+    g_flat = np.concatenate([
+        np.asarray(s, dtype=np.int64).reshape(-1) for s in sub_sizes
+    ])
+    g_off = np.zeros(n_sel + 1, dtype=np.int64)
+    np.cumsum(r_k[sel], out=g_off[1:])
+    if g_flat.size != int(g_off[-1]):
+        raise ValueError("need one sub-group size vector per island")
+    if np.any(np.add.reduceat(g_flat, g_off[:-1]) != p_k[sel]):
+        raise ValueError("sub-groups must partition their island")
+
+    # Column-major (island, group, sender) view of every piece matrix.
+    pos = concat_ranges(np.zeros(n_sel, dtype=np.int64), pcs)
+    isl_rep = np.repeat(np.arange(n_sel, dtype=np.int64), pcs)
+    pk_rep = p_k[sel][isl_rep]
+    rk_rep = r_k[sel][isl_rep]
+    src_idx = piece_off[sel][isl_rep] + (pos % pk_rep) * rk_rep + pos // pk_rep
+    sz = flat_sizes[src_idx]
+    # Piece starts: gathered from the PE-major value buffer, or — for the
+    # column-major piece plane, whose buffer is laid out exactly in this
+    # loop's (island, group, sender) order — a plain running prefix.
+    st = (np.cumsum(sz) - sz) if colmaj else starts_flat[src_idx]
+    sender = isl_off[sel][isl_rep] + pos % pk_rep  # batch rank of the sender
+
+    # One pair per (island, group); pieces of a pair are contiguous.
+    n_pairs = int(g_off[-1])
+    pair_len = np.repeat(p_k[sel], r_k[sel])
+    pair_off = np.zeros(n_pairs + 1, dtype=np.int64)
+    np.cumsum(pair_len, out=pair_off[1:])
+    pair_of_piece = np.repeat(np.arange(n_pairs, dtype=np.int64), pair_len)
+    pair_isl = np.repeat(np.arange(n_sel, dtype=np.int64), r_k[sel])
+    p_g = g_flat  # destination sub-group size per pair
+    g_start = np.cumsum(g_flat) - g_flat
+    g_start = isl_off[sel][pair_isl] + (
+        g_start - np.repeat(g_start[g_off[:-1]], r_k[sel])
+    )
+
+    m_j = np.add.reduceat(sz, pair_off[:-1])
+    isl_tot = np.add.reduceat(m_j, g_off[:-1])
+    thr = np.maximum(1, isl_tot // (2 * p_k[sel] * r_k[sel]))
+    thr_rep = thr[isl_rep]
+
+    parts: List[np.ndarray] = []
+
+    # Phase 1: small pieces whole, round-robin by enumeration index.
+    small = (sz > 0) & (sz <= thr_rep)
+    excl = np.cumsum(small.astype(np.int64)) - small
+    s_idx = excl - np.repeat(excl[pair_off[:-1]], pair_len)
+    pe_small = np.minimum(
+        p_g[pair_of_piece] - 1, s_idx // np.maximum(1, rk_rep)
+    )
+    sm = np.flatnonzero(small)
+    if sm.size:
+        parts.append(np.stack([
+            sender[sm], g_start[pair_of_piece[sm]] + pe_small[sm],
+            st[sm], sz[sm],
+        ]))
+
+    # Residual capacities per (pair, group PE) slot.
+    slot_off = np.zeros(n_pairs + 1, dtype=np.int64)
+    np.cumsum(p_g, out=slot_off[1:])
+    total_slots = int(slot_off[-1])
+    load = np.bincount(
+        slot_off[pair_of_piece[sm]] + pe_small[sm],
+        weights=sz[sm], minlength=total_slots,
+    ).astype(np.int64)
+    large = sz > thr_rep
+    large_total = np.add.reduceat(
+        np.where(large, sz, 0), pair_off[:-1]
+    )
+    cap = -(-m_j // np.maximum(p_g, 1))
+    residual = np.maximum(0, np.repeat(cap, p_g) - load)
+    res_sum = np.add.reduceat(residual, slot_off[:-1])
+    bump = np.where(
+        res_sum < large_total,
+        -(-(large_total - res_sum) // np.maximum(p_g, 1)),
+        0,
+    )
+    cap = cap + bump
+    residual = np.maximum(0, np.repeat(cap, p_g) - load)
+
+    # Phase 2: large pieces fill the residuals.  All pairs with large
+    # pieces run one composed-key interval merge: candidate split points
+    # are the large-piece bounds and the interior residual prefixes, keyed
+    # by (pair, position) so one sort + dedupe + two searchsorted calls
+    # produce every pair's message intervals at once.
+    lp = np.flatnonzero(large_total > 0)
+    if lp.size == 0:
+        return np.concatenate(parts, axis=1) if parts else None
+    n_lp = int(lp.size)
+    lp_flag = np.zeros(n_pairs, dtype=bool)
+    lp_flag[lp] = True
+    dense = np.zeros(n_pairs, dtype=np.int64)
+    dense[lp] = np.arange(n_lp, dtype=np.int64)
+
+    lg = np.flatnonzero(large & lp_flag[pair_of_piece])
+    l_pair = pair_of_piece[lg]
+    l_cnt = np.bincount(dense[l_pair], minlength=n_lp)
+    l_off = np.zeros(n_lp + 1, dtype=np.int64)
+    np.cumsum(l_cnt, out=l_off[1:])
+    l_sz = sz[lg]
+    lexcl = np.cumsum(l_sz) - l_sz
+    lexcl = lexcl - np.repeat(lexcl[l_off[:-1]], l_cnt)  # bounds[piece]
+
+    # Candidate points: each large piece's lower bound, each pair's total,
+    # and the interior residual prefixes strictly inside (0, total).
+    res_in_lp = residual[concat_ranges(slot_off[lp], p_g[lp])]
+    rexcl = np.cumsum(res_in_lp) - res_in_lp
+    rp_pair = np.repeat(np.arange(n_lp, dtype=np.int64), p_g[lp])
+    rexcl = rexcl - np.repeat(rexcl[np.cumsum(p_g[lp]) - p_g[lp]], p_g[lp])
+    cut_keep = (rexcl > 0) & (rexcl < large_total[lp][rp_pair])
+
+    vmax = max(int(large_total[lp].max()), int(rexcl.max(initial=0)))
+    bits = max(1, vmax.bit_length())
+    if (n_lp << bits) >= (1 << 62):
+        return None  # composed keys would overflow; per-island fallback
+    key = np.int64(1) << np.int64(bits)
+    # The piece bounds are already sorted (pair-major, ascending within
+    # each pair) and so are the residual cuts, so the candidate points
+    # merge by insertion — no sort.
+    nb = l_cnt + 1
+    nb_off = np.zeros(n_lp + 1, dtype=np.int64)
+    np.cumsum(nb, out=nb_off[1:])
+    m1 = np.empty(int(nb_off[-1]), dtype=np.int64)
+    m1[concat_ranges(nb_off[:-1], l_cnt)] = dense[l_pair] * key + lexcl
+    m1[nb_off[1:] - 1] = dense[lp] * key + large_total[lp]
+    ck = rp_pair[cut_keep] * key + rexcl[cut_keep]
+    cpos = np.searchsorted(m1, ck, side="left") + \
+        np.arange(ck.size, dtype=np.int64)
+    pts = np.empty(m1.size + ck.size, dtype=np.int64)
+    keep_m = np.ones(pts.size, dtype=bool)
+    keep_m[cpos] = False
+    pts[cpos] = ck
+    pts[keep_m] = m1
+    uniq = np.ones(pts.size, dtype=bool)
+    uniq[1:] = pts[1:] != pts[:-1]
+    pts = pts[uniq]
+    pt_pair = pts >> np.int64(bits)
+    pt_val = pts & (key - 1)
+    # Intervals: consecutive unique points of the same pair.
+    same = pt_pair[1:] == pt_pair[:-1]
+    ivl = np.flatnonzero(same)
+    abs_start = pt_val[ivl]
+    lengths = pt_val[ivl + 1] - abs_start
+    ivl_pair = pt_pair[ivl]
+
+    # Piece of every interval: composed-key bisection into the bounds.
+    bound_keys = dense[l_pair] * key + lexcl
+    piece_idx = np.searchsorted(
+        bound_keys, ivl_pair * key + abs_start, side="right"
+    ) - 1 - l_off[ivl_pair]
+    piece = lg[l_off[ivl_pair] + piece_idx]
+    # Destination PE: composed-key bisection into the residual prefixes.
+    rp_off = np.zeros(n_lp + 1, dtype=np.int64)
+    np.cumsum(p_g[lp], out=rp_off[1:])
+    res_keys = rp_pair * key + rexcl
+    pe = np.minimum(
+        np.searchsorted(res_keys, ivl_pair * key + abs_start, side="right")
+        - 1 - rp_off[ivl_pair],
+        p_g[lp][ivl_pair] - 1,
+    )
+    parts.append(np.stack([
+        sender[piece],
+        g_start[lp[ivl_pair]] + pe,
+        st[piece] + (abs_start - lexcl[l_off[ivl_pair] + piece_idx]),
+        lengths,
+    ]))
+    return np.concatenate(parts, axis=1)
+
+
 def _flat_chunks_for_group(
     psj: np.ndarray, limit: int
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
@@ -916,6 +1117,7 @@ def deliver_to_groups_batched(
     phase: str = PHASE_DATA_DELIVERY,
     schedule: str = "sparse",
     elem_plane: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    piece_layout: str = "rowmaj",
 ) -> BatchedDeliveryResult:
     """Run the data deliveries of all islands of one recursion level at once.
 
@@ -945,6 +1147,16 @@ def deliver_to_groups_batched(
         As for :func:`deliver_to_groups_flat`; the per-group pseudorandom
         permutation seeds restart at every island exactly like the
         per-island reference calls.
+    piece_layout:
+        ``'rowmaj'`` (default): ``piece_values`` holds every batch PE's
+        pieces in ``(batch PE, destination group)`` order.  ``'colmaj'``:
+        the buffer is ordered ``(island, destination group, batch PE)``
+        instead — one stable radix pass builds it from the original element
+        order, against two for the row-major plane.  Only supported for the
+        ``'deterministic'`` method with no singleton destination groups,
+        where every ``(source, destination)`` pair carries at most one
+        message, which makes the two layouts emit identical message
+        streams.
     elem_plane:
         Optional ``(values, elem_dest)`` pair for the fused element-level
         data plane: ``values`` are the batch elements in original
@@ -962,6 +1174,11 @@ def deliver_to_groups_batched(
     """
     if method not in DELIVERY_METHODS:
         raise ValueError(f"unknown delivery method {method!r}; choose from {DELIVERY_METHODS}")
+    if piece_layout not in ("rowmaj", "colmaj"):
+        raise ValueError("piece_layout must be 'rowmaj' or 'colmaj'")
+    if piece_layout == "colmaj" and method != "deterministic":
+        raise ValueError("the column-major piece plane requires the "
+                         "deterministic delivery method")
     machine = islands.machine
     spec = machine.spec
     q = int(islands.members.size)
@@ -979,30 +1196,28 @@ def deliver_to_groups_batched(
     pe_isl = np.repeat(np.arange(n_isl, dtype=np.int64), p_k)
 
     r_k = np.empty(n_isl, dtype=np.int64)
-    block_base = np.zeros(n_isl + 1, dtype=np.int64)
     for k in range(n_isl):
-        sizes_k = np.asarray(piece_sizes[k], dtype=np.int64)
-        if sizes_k.shape != (int(p_k[k]), int(np.asarray(subgroup_sizes[k]).size)):
+        shape = np.shape(piece_sizes[k])
+        if shape != (int(p_k[k]), int(np.asarray(subgroup_sizes[k]).size)):
             raise ValueError("piece matrix does not match the island layout")
-        r_k[k] = sizes_k.shape[1]
-        block_base[k + 1] = block_base[k] + int(sizes_k.sum())
+        r_k[k] = shape[1]
     fused = (
         elem_plane is not None
         and method != "advanced"
         and bool(np.all(r_k == p_k))
     )
-    if fused:
-        if int(block_base[-1]) != np.asarray(elem_plane[0]).size:
-            raise ValueError("elem_plane values do not match piece_sizes")
-    elif int(block_base[-1]) != piece_values.size:
-        raise ValueError("piece_values size does not match piece_sizes")
-
     flat_sizes = (
         np.concatenate([
             np.asarray(m, dtype=np.int64).reshape(-1) for m in piece_sizes
         ])
         if n_isl else np.empty(0, dtype=np.int64)
     )
+    total_words = int(flat_sizes.sum())
+    if fused:
+        if total_words != np.asarray(elem_plane[0]).size:
+            raise ValueError("elem_plane values do not match piece_sizes")
+    elif total_words != piece_values.size:
+        raise ValueError("piece_values size does not match piece_sizes")
     piece_cnt = p_k * r_k
     piece_off = np.zeros(n_isl + 1, dtype=np.int64)
     np.cumsum(piece_cnt, out=piece_off[1:])
@@ -1041,7 +1256,26 @@ def deliver_to_groups_batched(
                 flat_sizes[idx],
             ]))
 
-        for k in np.flatnonzero(~eligible):
+        noneligible = np.flatnonzero(~eligible)
+        if piece_layout == "colmaj" and (
+            eligible.any() or noneligible.size != n_isl
+        ):
+            raise ValueError("the column-major piece plane requires every "
+                             "destination group to be a proper sub-group")
+        if method == "deterministic" and noneligible.size:
+            det_parts = _flat_assign_deterministic_batched(
+                flat_sizes, starts_flat, piece_off, p_k, r_k,
+                noneligible, isl_off,
+                [subgroup_sizes[int(k)] for k in noneligible],
+                colmaj=piece_layout == "colmaj",
+            )
+            if det_parts is not None:
+                parts.append(det_parts)
+                noneligible = noneligible[:0]
+            elif piece_layout == "colmaj" and total_words > 0:
+                raise RuntimeError("column-major piece plane requires the "
+                                   "batched deterministic assignment")
+        for k in noneligible:
             k = int(k)
             pk, rk = int(p_k[k]), int(r_k[k])
             sizes_k = flat_sizes[piece_off[k]:piece_off[k + 1]].reshape(pk, rk)

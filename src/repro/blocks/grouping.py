@@ -27,6 +27,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.dist.flatops import _windowed_bisect, concat_ranges
+
 
 @dataclass
 class GroupingResult:
@@ -273,6 +275,219 @@ def optimal_bucket_grouping(
         boundaries=best,
         bound=int(max(best_bound, loads.max(initial=0))),
         group_loads=loads,
+        scan_calls=scan_calls,
+    )
+
+
+@dataclass
+class BatchedGroupingResult:
+    """Result of :func:`optimal_bucket_grouping_batched` for a batch of islands.
+
+    All per-island vectors are concatenated back to back; island ``k`` owns
+    ``boundaries[bnd_offsets[k]:bnd_offsets[k+1]]`` (``num_groups[k] + 1``
+    entries) and ``group_loads[load_offsets[k]:load_offsets[k+1]]``
+    (``num_groups[k]`` entries).  Every field is byte-identical to running
+    :func:`optimal_bucket_grouping` with ``method='accelerated'`` island by
+    island.
+    """
+
+    boundaries: np.ndarray
+    bnd_offsets: np.ndarray
+    bounds: np.ndarray
+    group_loads: np.ndarray
+    load_offsets: np.ndarray
+    scan_calls: np.ndarray
+
+    @property
+    def num_islands(self) -> int:
+        return int(self.bnd_offsets.size) - 1
+
+    def result_for(self, k: int) -> GroupingResult:
+        """Island ``k``'s grouping as a plain :class:`GroupingResult`."""
+        return GroupingResult(
+            boundaries=self.boundaries[self.bnd_offsets[k]:self.bnd_offsets[k + 1]],
+            bound=int(self.bounds[k]),
+            group_loads=self.group_loads[self.load_offsets[k]:self.load_offsets[k + 1]],
+            scan_calls=int(self.scan_calls[k]),
+        )
+
+    def bucket_group_lut(self) -> np.ndarray:
+        """Concatenated bucket → group lookup tables of all islands.
+
+        Island ``k``'s slice has one entry per bucket mapping its bucket
+        index to its destination group — identical to
+        ``np.repeat(np.arange(r_k), np.diff(boundaries_k))`` island by
+        island, built in one shot for the whole batch.
+        """
+        r = np.diff(self.load_offsets)
+        lo = concat_ranges(self.bnd_offsets[:-1], r)
+        widths = self.boundaries[lo + 1] - self.boundaries[lo]
+        group_ids = np.arange(int(r.sum()), dtype=np.int64) - np.repeat(
+            self.load_offsets[:-1], r
+        )
+        return np.repeat(group_ids, widths)
+
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+def optimal_bucket_grouping_batched(
+    bucket_sizes: np.ndarray,
+    offsets: np.ndarray,
+    num_groups: np.ndarray,
+) -> BatchedGroupingResult:
+    """Appendix C bound searches for many islands in lockstep.
+
+    Island ``k`` owns the bucket sizes
+    ``bucket_sizes[offsets[k]:offsets[k+1]]`` and packs them into
+    ``num_groups[k]`` groups.  Every island runs the exact probe sequence of
+    ``optimal_bucket_grouping(..., method='accelerated')`` — same binary
+    search midpoints, same Appendix C bound updates from the observed
+    ``largest_group`` / ``min_overflow`` values — but all islands advance as
+    vectors: one outer iteration probes every still-searching island's
+    midpoint, and the greedy scans run as a lockstep jump scan whose
+    prefix-sum probes are one whole-batch bisection over the concatenated
+    per-island prefix sums.  Boundaries, bounds, group loads and scan counts
+    are byte-identical to the per-island search.
+    """
+    sizes = np.asarray(bucket_sizes, dtype=np.int64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    num_groups = np.asarray(num_groups, dtype=np.int64)
+    n = int(offsets.size) - 1
+    if num_groups.shape != (n,):
+        raise ValueError("need one group count per island")
+    if np.any(num_groups <= 0):
+        raise ValueError("need at least one group")
+    if sizes.size and int(sizes.min()) < 0:
+        raise ValueError("bucket sizes must be non-negative")
+
+    m = np.diff(offsets)
+    b_cnt = num_groups + 1
+    b_off = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(b_cnt, out=b_off[1:])
+    l_off = b_off - np.arange(n + 1, dtype=np.int64)
+    bounds_out = np.zeros(n, dtype=np.int64)
+    scan_calls = np.zeros(n, dtype=np.int64)
+    # Default boundaries [0, m, m, ..., m]: the trivial (empty/zero-total)
+    # result, and the padding successful scans fill up to.
+    bnd = np.repeat(m, b_cnt)
+    bnd[b_off[:-1]] = 0
+    if n == 0:
+        e = np.empty(0, dtype=np.int64)
+        return BatchedGroupingResult(bnd, b_off, e, e.copy(), l_off, scan_calls)
+
+    # Per-island prefix sums with a leading zero, all islands back to back.
+    cs_off = offsets + np.arange(n + 1, dtype=np.int64)
+    gcs = np.zeros(int(cs_off[-1]), dtype=np.int64)
+    if sizes.size:
+        c = np.cumsum(sizes)
+        ctot = np.zeros(sizes.size + 1, dtype=np.int64)
+        ctot[1:] = c
+        tot = ctot[offsets[1:]] - ctot[offsets[:-1]]
+        gcs[concat_ranges(cs_off[:-1] + 1, m)] = c - np.repeat(ctot[offsets[:-1]], m)
+    else:
+        tot = np.zeros(n, dtype=np.int64)
+
+    done = (m == 0) | (tot == 0)
+    has_best = done.copy()
+    nontrivial = np.flatnonzero(~done)
+    lo = np.ones(n, dtype=np.int64)
+    hi = tot.copy()
+    if nontrivial.size:
+        # max.reduceat segments span from each nontrivial island's first
+        # bucket to the next one's; the islands skipped in between are
+        # trivial (no buckets, or all-zero buckets), so the spans only add
+        # zeros and the per-island maxima are unaffected.
+        max_bucket = np.maximum.reduceat(sizes, offsets[:-1][nontrivial])
+        lo[nontrivial] = np.maximum(max_bucket, -(-tot[nontrivial] // num_groups[nontrivial]))
+
+    # Full-width search state (one slot per island; inactive islands are
+    # masked out of every update).
+    cand = bnd.copy()
+    mid = np.zeros(n, dtype=np.int64)
+    n_bnd = np.ones(n, dtype=np.int64)
+    isl_of_slot = np.repeat(np.arange(n, dtype=np.int64), b_cnt)
+    slot_j = np.arange(int(b_off[-1]), dtype=np.int64) - np.repeat(b_off[:-1], b_cnt)
+    base = cs_off[:-1]
+
+    while True:
+        act = ~done & (lo <= hi)
+        if not act.any():
+            break
+        mid = np.where(act, (lo + hi) >> 1, mid)
+        scan_calls[act] += 1
+
+        # --- lockstep jump scan of all probing islands -----------------
+        start = np.zeros(n, dtype=np.int64)
+        n_bnd[:] = 1
+        largest = np.zeros(n, dtype=np.int64)
+        min_ovf = np.full(n, _INT64_MAX, dtype=np.int64)
+        feasible = act.copy()
+        running = act.copy()
+        while running.any():
+            wlo = np.where(running, base + start + 1, 0)
+            whi = np.where(running, base + m + 1, 0)
+            q = gcs[np.where(running, base + start, 0)] + mid
+            pos = _windowed_bisect(gcs, q, wlo, whi, right=True)
+            end = np.where(running, pos - 1 - base, 0)
+            load = gcs[np.where(running, base + end, 0)] - gcs[np.where(running, base + start, 0)]
+            at_end = running & (end == m)
+            cont = running & ~at_end
+            ovf = gcs[np.where(cont, base + end + 1, 0)] - gcs[np.where(cont, base + start, 0)]
+            size_end = sizes[np.where(cont, offsets[:-1] + end, 0)] if sizes.size else ovf
+            too_big = cont & (size_end > mid)
+            fits = cont & ~too_big
+            largest = np.where(running, np.maximum(largest, load), largest)
+            min_ovf = np.where(too_big, np.minimum(min_ovf, size_end), min_ovf)
+            min_ovf = np.where(fits, np.minimum(min_ovf, ovf), min_ovf)
+            fidx = np.flatnonzero(fits)
+            if fidx.size:
+                cand[b_off[fidx] + n_bnd[fidx]] = end[fidx]
+                n_bnd[fits] += 1
+            exceeded = fits & (n_bnd - 1 >= num_groups)
+            feasible &= ~(too_big | exceeded)
+            start = np.where(fits & ~exceeded, end, start)
+            running = fits & ~exceeded
+
+        # --- Appendix C bound updates ----------------------------------
+        succ = act & feasible
+        fail = act & ~feasible
+        if succ.any():
+            smask = succ[isl_of_slot]
+            keep = slot_j < n_bnd[isl_of_slot]
+            bnd[smask] = np.where(keep[smask], cand[smask], m[isl_of_slot][smask])
+            bounds_out = np.where(succ, largest, bounds_out)
+            has_best |= succ
+            hi = np.where(succ, np.minimum(mid, largest) - 1, hi)
+        if fail.any():
+            lo = np.where(fail, np.maximum(mid + 1, min_ovf), lo)
+
+    # Defensive fallback, mirroring the per-island search: a bound of the
+    # island total always succeeds with a single group.  Unreachable for the
+    # accelerated probe sequence (the search cannot exhaust its window
+    # without probing a feasible bound), but kept for exact parity.
+    for k in np.flatnonzero(~has_best):  # pragma: no cover
+        scan_calls[k] += 1
+        bk = scan_buckets_with_bound(
+            sizes[offsets[k]:offsets[k + 1]], int(num_groups[k]), int(tot[k])
+        )
+        assert bk is not None
+        bnd[b_off[k]:b_off[k + 1]] = bk
+        bounds_out[k] = tot[k]
+
+    # Group loads from the boundary prefix sums, all islands at once.
+    load_lo = concat_ranges(b_off[:-1], num_groups)
+    cs_base = np.repeat(base, num_groups)
+    loads = gcs[cs_base + bnd[load_lo + 1]] - gcs[cs_base + bnd[load_lo]]
+    max_load = np.maximum.reduceat(loads, l_off[:-1]) if loads.size else \
+        np.zeros(n, dtype=np.int64)
+    bounds_out = np.maximum(bounds_out, max_load)
+    return BatchedGroupingResult(
+        boundaries=bnd,
+        bnd_offsets=b_off,
+        bounds=bounds_out,
+        group_loads=loads,
+        load_offsets=l_off,
         scan_calls=scan_calls,
     )
 

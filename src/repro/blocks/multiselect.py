@@ -490,6 +490,9 @@ def multisequence_select_batched(
     max_iter = 64 + 4 * np.ceil(
         np.log2(np.maximum(isl_total, 2))
     ).astype(np.int64) * np.maximum(1, nr_k)
+    # Round-invariant lookups, hoisted out of the pivot loop.
+    pe_isl_map = np.repeat(np.arange(n_isl, dtype=np.int64), p_k)
+    log_sizes = np.maximum(1.0, np.log2(np.maximum(sizes, 2)))
 
     while True:
         live_per_isl = np.bincount(row_isl[~row_done], minlength=n_isl)
@@ -515,11 +518,16 @@ def multisequence_select_batched(
             continue
 
         # --- pivot draws: one vectorised call per island, islands in order
+        # (rows are laid out island-major, so each drawing island is one
+        # contiguous slice — no per-island masks).
         us = np.empty(draw_rows.size, dtype=np.int64)
         d_isl = row_isl[draw_rows]
-        for k in np.unique(d_isl):
-            mask = d_isl == k
-            us[mask] = rngs[int(k)].integers(0, row_rem[draw_rows][mask])
+        d_vals = row_rem[draw_rows]
+        d_bnd = np.flatnonzero(d_isl[1:] != d_isl[:-1]) + 1
+        d_starts = np.concatenate([[0], d_bnd])
+        d_ends = np.concatenate([d_bnd, [d_isl.size]])
+        for a, b in zip(d_starts.tolist(), d_ends.tolist()):
+            us[a:b] = rngs[int(d_isl[a])].integers(0, d_vals[a:b])
 
         # --- locate the pivots: segmented cumsum + segmented search -------
         csum = np.cumsum(widths)
@@ -555,21 +563,17 @@ def multisequence_select_batched(
         cnt[q_pair] = pos_row - lo[q_pair] + 1
 
         # --- local binary-search charge for every island that drew --------
+        charged_isl = d_isl[d_starts]  # sorted unique (rows island-major)
         if charge_local:
             ops = np.bincount(pair_pe[op], minlength=q_pes) if op.size else \
                 np.zeros(q_pes, dtype=np.int64)
-            charged = np.isin(
-                np.repeat(np.arange(n_isl, dtype=np.int64), p_k),
-                np.unique(d_isl),
-            )
-            times = (
-                spec.comparison_ns * 1e-9 * ops
-                * np.maximum(1.0, np.log2(np.maximum(sizes, 2)))
-            )
+            drawn = np.zeros(n_isl, dtype=bool)
+            drawn[charged_isl] = True
+            charged = drawn[pe_isl_map]
+            times = spec.comparison_ns * 1e-9 * ops * log_sizes
             machine.advance_many(islands.members[charged], times[charged])
 
         # --- one vector all-reduce per drawing island ---------------------
-        charged_isl = np.unique(d_isl)
         islands.select(charged_isl).charge_collective(nr_k[charged_isl])
 
         # --- narrow the candidate windows ---------------------------------

@@ -46,7 +46,10 @@ from repro.blocks.fast_sort import (
     grid_shape,
     select_splitters_by_rank,
 )
-from repro.blocks.grouping import optimal_bucket_grouping
+from repro.blocks.grouping import (
+    optimal_bucket_grouping,
+    optimal_bucket_grouping_batched,
+)
 from repro.blocks.sampling import (
     SamplingParams,
     draw_samples,
@@ -61,6 +64,7 @@ from repro.dist.flatops import (
     map_by_unique,
     map_by_unique2,
     segmented_sort_values,
+    stable_key_argsort,
     stable_two_key_argsort,
 )
 from repro.machine.counters import (
@@ -317,19 +321,33 @@ def _level_result(
         ]
         new_dist = DistArray(new_values, new_offsets)
 
-    next_parts: List[np.ndarray] = []
-    a = 0
-    for g in range(num_isl):
-        start = int(isl_offsets[g])
-        if sizes_isl[g] == 1:
-            next_parts.append(np.array([start], dtype=np.int64))
-        else:
-            gs = sub_sizes[a]
-            next_parts.append(start + np.cumsum(gs) - gs)
-            a += 1
-    next_offsets = np.concatenate(
-        next_parts + [np.array([int(isl_offsets[-1])], dtype=np.int64)]
-    )
+    # Next-level island offsets: active islands contribute their sub-group
+    # starts (start + exclusive cumsum of sub sizes), singleton islands
+    # just their own start — all scattered in one pass.
+    active_mask = np.zeros(num_isl, dtype=bool)
+    active_mask[active] = True
+    cnt = np.ones(num_isl, dtype=np.int64)
+    next_offsets_tail = int(isl_offsets[-1])
+    if len(sub_sizes):
+        r_g = np.fromiter(
+            (s.size for s in sub_sizes), dtype=np.int64, count=len(sub_sizes)
+        )
+        cnt[active] = r_g
+    out_off = np.zeros(num_isl + 1, dtype=np.int64)
+    np.cumsum(cnt, out=out_off[1:])
+    next_offsets = np.empty(int(out_off[-1]) + 1, dtype=np.int64)
+    next_offsets[-1] = next_offsets_tail
+    passive_mask = ~active_mask
+    next_offsets[out_off[:-1][passive_mask]] = isl_offsets[:-1][passive_mask]
+    if len(sub_sizes):
+        sub_flat = np.concatenate(sub_sizes)
+        excl = np.cumsum(sub_flat) - sub_flat
+        sub_off = np.zeros(r_g.size + 1, dtype=np.int64)
+        np.cumsum(r_g, out=sub_off[1:])
+        excl -= np.repeat(excl[sub_off[:-1]], r_g)
+        next_offsets[concat_ranges(out_off[active], r_g)] = (
+            np.repeat(isl_offsets[active], r_g) + excl
+        )
     return new_dist, next_offsets
 
 
@@ -338,29 +356,36 @@ def _segmented_sample_splitters(
     isl_sample_tot: np.ndarray,
     r_act: np.ndarray,
     sampling: SamplingParams,
-) -> List[np.ndarray]:
+) -> tuple:
     """Sort the batch sample per island and pick equidistant splitters.
 
-    One segmented (per-island) value sort over the whole batch, then per
-    island the :func:`splitter_ranks` pick; islands with no sample or no
-    splitters get an empty array.  Charge-free — the grid and centralized
-    splitter paths share this data plane and differ only in what they
-    charge.
+    One segmented (per-island) value sort over the whole batch, then one
+    vectorised :func:`splitter_ranks` pick for every island at once; islands
+    with no sample or no splitters get an empty slice.  Returns the
+    concatenated splitters ``(spl_values, spl_off)``.  Charge-free — the
+    grid and centralized splitter paths share this data plane and differ
+    only in what they charge.
     """
     n_act = int(isl_sample_tot.size)
     sample_off = np.zeros(n_act + 1, dtype=np.int64)
     np.cumsum(isl_sample_tot, out=sample_off[1:])
     sorted_samples = segmented_sort_values(samples_b.values, sample_off)
-    splitters_per_isl: List[np.ndarray] = []
-    for k in range(n_act):
-        ns_k = sampling.num_splitters(int(r_act[k]))
-        tot = int(isl_sample_tot[k])
-        if ns_k <= 0 or tot == 0:
-            splitters_per_isl.append(sorted_samples[:0])
-        else:
-            ranks = splitter_ranks(tot, ns_k)
-            splitters_per_isl.append(sorted_samples[int(sample_off[k]) + ranks])
-    return splitters_per_isl
+    uniq_r, inv_r = np.unique(r_act, return_inverse=True)
+    ns = np.array(
+        [sampling.num_splitters(int(rk)) for rk in uniq_r], dtype=np.int64
+    )[inv_r]
+    ns = np.where((ns > 0) & (isl_sample_tot > 0), ns, 0)
+    spl_off = np.zeros(n_act + 1, dtype=np.int64)
+    np.cumsum(ns, out=spl_off[1:])
+    total = int(spl_off[-1])
+    if total == 0:
+        return sorted_samples[:0], spl_off
+    # splitter i of island k sits at sample rank
+    # min((i + 1) * tot_k // (ns_k + 1), tot_k - 1), exactly splitter_ranks.
+    i1 = np.arange(total, dtype=np.int64) - np.repeat(spl_off[:-1], ns) + 1
+    tot_rep = np.repeat(isl_sample_tot, ns)
+    ranks = np.minimum((i1 * tot_rep) // (np.repeat(ns, ns) + 1), tot_rep - 1)
+    return sorted_samples[np.repeat(sample_off[:-1], ns) + ranks], spl_off
 
 
 def _batched_grid_splitters(
@@ -370,7 +395,7 @@ def _batched_grid_splitters(
     act_sizes: np.ndarray,
     r_act: np.ndarray,
     sampling: SamplingParams,
-) -> List[np.ndarray]:
+) -> tuple:
     """Fast work-inefficient sample sort + splitter pick for a level batch.
 
     Lockstep port of :func:`repro.blocks.fast_sort.select_splitters_by_rank_flat`
@@ -396,41 +421,41 @@ def _batched_grid_splitters(
             map_by_unique(s_sizes, lambda m: spec.local_sort_time(int(m))),
         )
         isl_sample_tot = np.add.reduceat(s_sizes, act_off[:-1])
-        grid_active = np.flatnonzero(isl_sample_tot > 0)
-        shapes = [grid_shape(int(pk)) for pk in act_sizes]
+        grid_mask = isl_sample_tot > 0
+        # Grid shapes, one evaluation per distinct island size.
+        uniq_p, inv_p = np.unique(act_sizes, return_inverse=True)
+        shapes_u = [grid_shape(int(pk)) for pk in uniq_p]
+        rows_a = np.array([s.rows for s in shapes_u], dtype=np.int64)[inv_p]
+        cols_a = np.array([s.cols for s in shapes_u], dtype=np.int64)[inv_p]
+        gp_a = rows_a * cols_a
 
         # PEs outside a non-square grid hand their sample to a grid PE;
         # the reference ships values and ids in two cost-only exchanges.
-        handoff = np.array(
-            [k for k in grid_active if shapes[k].size < int(act_sizes[k])],
-            dtype=np.int64,
-        )
+        # All handoff islands assemble their exchange vectors in one pass.
+        handoff = np.flatnonzero(grid_mask & (gp_a < act_sizes))
         grid_sizes = s_sizes.copy()
         if handoff.size:
+            n_out = act_sizes[handoff] - gp_a[handoff]
+            j = concat_ranges(gp_a[handoff], n_out)  # local index in [gp, p_k)
+            h_rep = np.repeat(handoff, n_out)
+            outside = act_off[h_rep] + j
+            dests = act_off[h_rep] + j % gp_a[h_rep]
             words_s = np.zeros(q, dtype=np.int64)
             words_r = np.zeros(q, dtype=np.int64)
             msg_s = np.zeros(q, dtype=np.int64)
             msg_r = np.zeros(q, dtype=np.int64)
-            ho_src: List[np.ndarray] = []
-            ho_dest: List[np.ndarray] = []
-            for k in handoff:
-                k = int(k)
-                base = int(act_off[k])
-                gp = shapes[k].size
-                outside = np.arange(base + gp, base + int(act_sizes[k]), dtype=np.int64)
-                dests = base + (np.arange(gp, int(act_sizes[k]), dtype=np.int64) % gp)
-                words_s[outside] = s_sizes[outside]
-                np.add.at(words_r, dests, s_sizes[outside])
-                nonempty = s_sizes[outside] > 0
-                msg_s[outside[nonempty]] = 1
-                np.add.at(msg_r, dests[nonempty], 1)
-                np.add.at(grid_sizes, dests, s_sizes[outside])
-                ho_src.append(outside[nonempty])
-                ho_dest.append(dests[nonempty])
-            sel = np.isin(pe_isl, handoff)
+            words_s[outside] = s_sizes[outside]
+            np.add.at(words_r, dests, s_sizes[outside])
+            nonempty = s_sizes[outside] > 0
+            src_all = outside[nonempty]
+            dest_all = dests[nonempty]
+            msg_s[src_all] = 1
+            np.add.at(msg_r, dest_all, 1)
+            np.add.at(grid_sizes, dests, s_sizes[outside])
+            ho_flag = np.zeros(n_act, dtype=bool)
+            ho_flag[handoff] = True
+            sel = ho_flag[pe_isl]
             sub = islands.select(handoff)
-            src_all = np.concatenate(ho_src)
-            dest_all = np.concatenate(ho_dest)
             for _ in range(2):  # sample values, then their ids
                 if src_all.size:
                     machine.counters.record_messages(
@@ -442,78 +467,79 @@ def _batched_grid_splitters(
                     charge_copy=False,
                 )
 
+        grid_active = np.flatnonzero(grid_mask)
         if grid_active.size:
-            # Row/column gossip: rows are contiguous PE runs inside the grid.
-            row_members: List[np.ndarray] = []
-            row_sizes: List[int] = []
-            row_words: List[int] = []
-            col_members: List[np.ndarray] = []
-            col_sizes: List[int] = []
-            col_words: List[int] = []
-            merge_pes: List[np.ndarray] = []
-            merge_szs: List[np.ndarray] = []
-            for k in grid_active:
-                k = int(k)
-                rows, cols = shapes[k].rows, shapes[k].cols
-                base = int(act_off[k])
-                grid = np.arange(base, base + rows * cols, dtype=np.int64)
-                grid2d = grid.reshape(rows, cols)
-                sz2d = grid_sizes[grid2d]
-                row_tot = sz2d.sum(axis=1)
-                col_tot = sz2d.sum(axis=0)
-                for ri in range(rows):
-                    row_members.append(batch_members[grid2d[ri]])
-                    row_sizes.append(cols)
-                    row_words.append(
-                        max(1, int(math.ceil(int(row_tot[ri]) / max(cols, 1))))
-                    )
-                for cj in range(cols):
-                    col_members.append(batch_members[grid2d[:, cj]])
-                    col_sizes.append(rows)
-                    col_words.append(
-                        max(1, int(math.ceil(int(col_tot[cj]) / max(rows, 1))))
-                    )
-                merge_pes.append(batch_members[grid])
-                merge_szs.append((row_tot[:, None] + col_tot[None, :]).reshape(-1))
+            # Row/column gossip over a padded (island, row, col) cube: rows
+            # are contiguous PE runs inside each grid, columns are strided;
+            # one scatter of the grid sample sizes yields every island's
+            # row/column totals, words and member layouts without touching
+            # islands, rows or columns in Python.
+            rows_g = rows_a[grid_active]
+            cols_g = cols_a[grid_active]
+            gp_g = gp_a[grid_active]
+            n_g = int(grid_active.size)
+            R = int(rows_g.max())
+            C = int(cols_g.max())
+            gidx = concat_ranges(np.zeros(n_g, dtype=np.int64), gp_g)
+            g_rep = np.repeat(np.arange(n_g, dtype=np.int64), gp_g)
+            grid_pos = act_off[grid_active][g_rep] + gidx
+            cols_rep = cols_g[g_rep]
+            sz_pad = np.zeros((n_g, R, C), dtype=np.int64)
+            sz_pad[g_rep, gidx // cols_rep, gidx % cols_rep] = grid_sizes[grid_pos]
+            row_tot = sz_pad.sum(axis=2)  # (n_g, R)
+            col_tot = sz_pad.sum(axis=1)  # (n_g, C)
+            valid_row = np.arange(R, dtype=np.int64)[None, :] < rows_g[:, None]
+            valid_col = np.arange(C, dtype=np.int64)[None, :] < cols_g[:, None]
 
-            def _batch(members_list, sizes_list):
-                offs = np.zeros(len(sizes_list) + 1, dtype=np.int64)
-                np.cumsum(np.asarray(sizes_list, dtype=np.int64), out=offs[1:])
-                return GroupBatch(machine, np.concatenate(members_list), offs)
+            grid_members = batch_members[grid_pos]
+            row_lengths = np.repeat(cols_g, rows_g)
+            row_off = np.zeros(row_lengths.size + 1, dtype=np.int64)
+            np.cumsum(row_lengths, out=row_off[1:])
+            row_words = np.maximum(1, -(-row_tot // cols_g[:, None]))[valid_row]
+            row_batch = GroupBatch(machine, grid_members, row_off)
+            row_batch.charge_collective(row_words, rounds_factors=row_lengths)
 
-            row_batch = _batch(row_members, row_sizes)
-            row_batch.charge_collective(row_words, rounds_factors=row_sizes)
-            col_batch = _batch(col_members, col_sizes)
-            col_batch.charge_collective(col_words, rounds_factors=col_sizes)
-            machine.advance_many(
-                np.concatenate(merge_pes),
-                map_by_unique(
-                    np.concatenate(merge_szs),
-                    lambda m: spec.local_merge_time(int(m), 2),
-                ),
+            # Column members in (island, col, row) order via a broadcast
+            # index cube masked down to each island's true grid.
+            r_idx = np.arange(R, dtype=np.int64)
+            c_idx = np.arange(C, dtype=np.int64)
+            cube = (
+                act_off[grid_active][:, None, None]
+                + r_idx[None, None, :] * cols_g[:, None, None]
+                + c_idx[None, :, None]
             )
-            col_red_words = []
-            for k in grid_active:
-                k = int(k)
-                rows, cols = shapes[k].rows, shapes[k].cols
-                base = int(act_off[k])
-                sz2d = grid_sizes[base:base + rows * cols].reshape(rows, cols)
-                col_red_words.extend(int(c) for c in sz2d.sum(axis=0))
-            col_batch.charge_collective(col_red_words)
+            cube_valid = (
+                (c_idx[None, :, None] < cols_g[:, None, None])
+                & (r_idx[None, None, :] < rows_g[:, None, None])
+            )
+            col_lengths = np.repeat(rows_g, cols_g)
+            col_off = np.zeros(col_lengths.size + 1, dtype=np.int64)
+            np.cumsum(col_lengths, out=col_off[1:])
+            col_words = np.maximum(1, -(-col_tot // rows_g[:, None]))[valid_col]
+            col_batch = GroupBatch(
+                machine, batch_members[cube[cube_valid]], col_off
+            )
+            col_batch.charge_collective(col_words, rounds_factors=col_lengths)
+
+            merge_szs = (row_tot[:, :, None] + col_tot[:, None, :])[
+                valid_row[:, :, None] & valid_col[:, None, :]
+            ]
+            machine.advance_many(
+                grid_members,
+                map_by_unique(merge_szs, lambda m: spec.local_merge_time(int(m), 2)),
+            )
+            col_batch.charge_collective(col_tot[valid_col])
 
         # Sample-sort data: shared segmented argsort + splitter pick; only
         # islands that actually have splitters charge the broadcast.
-        splitters_per_isl = _segmented_sample_splitters(
+        spl_values, spl_off = _segmented_sample_splitters(
             samples_b, isl_sample_tot, r_act, sampling
         )
-        bcast_idx = [
-            k for k, spl in enumerate(splitters_per_isl) if spl.size
-        ]
-        if bcast_idx:
-            islands.select(np.asarray(bcast_idx)).charge_collective(
-                [int(splitters_per_isl[k].size) for k in bcast_idx]
-            )
-    return splitters_per_isl
+        spl_sizes = np.diff(spl_off)
+        bcast_idx = np.flatnonzero(spl_sizes > 0)
+        if bcast_idx.size:
+            islands.select(bcast_idx).charge_collective(spl_sizes[bcast_idx])
+    return spl_values, spl_off
 
 
 def _batched_centralized_splitters(
@@ -522,7 +548,7 @@ def _batched_centralized_splitters(
     samples_b: DistArray,
     r_act: np.ndarray,
     sampling: SamplingParams,
-) -> List[np.ndarray]:
+) -> tuple:
     """Lockstep port of :func:`_centralized_splitters` for a level batch.
 
     Gather (bottlenecked by the largest per-PE contribution), root-local
@@ -532,29 +558,25 @@ def _batched_centralized_splitters(
     machine = islands.machine
     spec = machine.spec
     act_off = islands.offsets
-    n_act = islands.num_groups
     s_sizes = samples_b.sizes()
     with comm.phase(PHASE_SPLITTER_SELECTION):
-        words_each = [
-            max(1, int(s_sizes[act_off[k]:act_off[k + 1]].max(initial=1)))
-            for k in range(n_act)
-        ]
+        words_each = np.maximum(
+            1, np.maximum.reduceat(s_sizes, act_off[:-1])
+        )
         islands.charge_collective(words_each, rounds_factors=islands.sizes)
 
         isl_tot = np.add.reduceat(s_sizes, act_off[:-1])
         machine.advance_many(
             islands.members[act_off[:-1]],
-            [spec.local_sort_time(int(t)) for t in isl_tot],
+            map_by_unique(isl_tot, lambda t: spec.local_sort_time(int(t))),
         )
-        splitters_per_isl = _segmented_sample_splitters(
+        spl_values, spl_off = _segmented_sample_splitters(
             samples_b, isl_tot, r_act, sampling
         )
         # The centralized scheme broadcasts from every island's root, even
         # an empty splitter set (words = 0 still costs the latency term).
-        islands.charge_collective(
-            [int(spl.size) for spl in splitters_per_isl]
-        )
-    return splitters_per_isl
+        islands.charge_collective(np.diff(spl_off))
+    return spl_values, spl_off
 
 
 def _ams_level_batched(
@@ -597,9 +619,13 @@ def _ams_level_batched(
     dist_b = dist if n_act == num_isl else dist.take_segments(batch_ranks)
     data_sizes = dist_b.sizes()
 
-    r_act = np.array(
-        [_level_r(plan, level, int(pk)) for pk in act_sizes], dtype=np.int64
+    # Group counts, sampling counts and sub-group layouts depend on the
+    # island only through its size; evaluate once per distinct size.
+    uniq_sz, inv_sz = np.unique(act_sizes, return_inverse=True)
+    r_uniq = np.array(
+        [_level_r(plan, level, int(pk)) for pk in uniq_sz], dtype=np.int64
     )
+    r_act = r_uniq[inv_sz]
     sampling = config.sampling_for(max(n_total, 2))
 
     # ------------------------------------------------------------------
@@ -610,21 +636,21 @@ def _ams_level_batched(
             np.array(
                 [
                     sampling.samples_per_pe(int(pk), int(rk))
-                    for pk, rk in zip(act_sizes, r_act)
+                    for pk, rk in zip(uniq_sz, r_uniq)
                 ],
                 dtype=np.int64,
-            ),
+            )[inv_sz],
             act_sizes,
         )
         samples_b = draw_samples_flat(
             dist_b, per_pe_counts, machine.sample_rng, level, batch_members
         )
     if config.use_fast_sample_sort:
-        splitters_per_isl = _batched_grid_splitters(
+        spl_values, spl_off = _batched_grid_splitters(
             comm, islands, samples_b, act_sizes, r_act, sampling
         )
     else:
-        splitters_per_isl = _batched_centralized_splitters(
+        spl_values, spl_off = _batched_centralized_splitters(
             comm, islands, samples_b, r_act, sampling
         )
 
@@ -633,18 +659,9 @@ def _ams_level_batched(
     #    grouping, one stable (PE, group) reorder for the whole batch
     # ------------------------------------------------------------------
     with comm.phase(PHASE_BUCKET_PROCESSING):
-        spl_sizes = np.array(
-            [int(s.size) for s in splitters_per_isl], dtype=np.int64
-        )
+        spl_sizes = np.diff(spl_off)
         nb_per_isl = np.where(spl_sizes > 0, spl_sizes + 1, 1)
-        spl_off = np.zeros(n_act + 1, dtype=np.int64)
-        np.cumsum(spl_sizes, out=spl_off[1:])
-        spl_values = (
-            np.concatenate([s for s in splitters_per_isl if s.size])
-            if spl_off[-1] else np.empty(0, dtype=dist_b.dtype)
-        )
         elem_off = dist_b.offsets[act_off]  # element range per island
-        elem_pe = dist_b.segment_ids()
         bucket_of = blockwise_searchsorted(
             spl_values, spl_off, dist_b.values, elem_off, side="right"
         )
@@ -668,53 +685,87 @@ def _ams_level_batched(
         islands.charge_collective(nb_per_isl)
 
         # Bucket -> destination group per island through one ragged lookup
-        # table (buckets are few, elements are not).
-        lut_parts: List[np.ndarray] = []
-        for k in range(n_act):
-            grouping = optimal_bucket_grouping(
-                gbs_flat[nb_off[k]:nb_off[k + 1]], int(r_act[k]),
-                method="accelerated",
-            )
-            lut_parts.append(np.repeat(
-                np.arange(int(r_act[k]), dtype=np.int64),
-                np.diff(grouping.boundaries),
-            ))
+        # table (buckets are few, elements are not).  All islands' Appendix C
+        # bound searches advance in lockstep; a handful of islands is faster
+        # through the scalar per-island search (the lockstep probe machinery
+        # has a fixed per-step cost that only pays off across many islands).
+        if n_act >= 8:
+            lut = optimal_bucket_grouping_batched(
+                gbs_flat, nb_off, r_act
+            ).bucket_group_lut()
+        else:
+            lut = np.concatenate([
+                np.repeat(
+                    np.arange(int(r_act[k]), dtype=np.int64),
+                    np.diff(optimal_bucket_grouping(
+                        gbs_flat[nb_off[k]:nb_off[k + 1]], int(r_act[k]),
+                        method="accelerated",
+                    ).boundaries),
+                )
+                for k in range(n_act)
+            ])
         islands.charge_collective(np.ones(n_act, dtype=np.int64))
-        lut = np.concatenate(lut_parts)
+        # Group indices fit 32 bits at any simulable scale; the narrow
+        # dtype halves the bandwidth of every element-scale key pass below.
+        lut = lut.astype(np.int32, copy=False)
         dest_local = lut[isl_bucket_key]
 
         r_per_pe = r_act[pe_isl]
         total_pieces = int(r_per_pe.sum())
         r_max = int(r_act.max(initial=1))
-        if int(r_act.min(initial=1)) == r_max:
-            # Uniform group count (the overwhelmingly common case): the
-            # piece index is pure arithmetic, no per-PE base gather.
-            piece_key = elem_pe * np.int64(r_max) + dest_local
-        else:
-            pe_piece_base = np.cumsum(r_per_pe) - r_per_pe
-            piece_key = pe_piece_base[elem_pe] + dest_local
-        # Stable (PE, group) reorder for the whole batch at once.  Islands
-        # occupy disjoint ascending PE ranges, so one stable two-key radix
-        # argsort over (PE, destination group) — two 16-bit counting passes
-        # for any p up to 2^16 — equals the per-island reorders with the
-        # island element offsets pre-added, eliminating the per-island
-        # Python loop the previous engine spent most of its level time in.
-        # When every destination group is a singleton (the final level),
-        # even that reorder is skipped: the delivery consumes the elements
-        # in place through its fused element plane, keyed by each
-        # element's destination PE.
+        seg_sizes_b = np.diff(dist_b.offsets)
+        pe_piece_base = np.cumsum(r_per_pe) - r_per_pe
+        narrow = total_pieces < 2 ** 31 and int(isl_offsets[-1]) < 2 ** 31
+        if narrow:
+            pe_piece_base = pe_piece_base.astype(np.int32)
+        piece_key = np.repeat(pe_piece_base, seg_sizes_b) + dest_local
+        # Piece reorder for the whole batch at once.  Three regimes:
+        # * final level (every destination group a singleton, non-advanced
+        #   delivery): no reorder at all — the delivery consumes the
+        #   elements in place through its fused element plane, keyed by
+        #   each element's destination PE;
+        # * deterministic delivery at intermediate levels: ONE stable
+        #   16-bit radix argsort by global (island, group) key builds the
+        #   *column-major* piece plane — within a group the elements stay
+        #   in (PE, original) order because the input is PE-major, so each
+        #   piece is one contiguous run and the delivery addresses it
+        #   through column-major piece starts.  (Valid because the
+        #   deterministic assignment sends at most one message per
+        #   (source, destination) pair, making the row/column layouts
+        #   indistinguishable downstream.)
+        # * otherwise: the classic (PE, group) row-major reorder — a stable
+        #   two-key radix argsort (two 16-bit counting passes).
         fuse_delivery = (
             config.delivery != "advanced"
             and bool(np.all(r_act == act_sizes))
         )
+        piece_layout = "rowmaj"
+        isl_counts = np.diff(elem_off)
         if fuse_delivery:
             piece_values = None
-            elem_dest = (
-                np.repeat(act_off[:-1], np.diff(elem_off)) + dest_local
-            )
+            act_base = act_off[:-1].astype(np.int32) if narrow else act_off[:-1]
+            elem_dest = np.repeat(act_base, isl_counts) + dest_local
         else:
             elem_dest = None
-            order = stable_two_key_argsort(elem_pe, dest_local, q, r_max)
+            n_groups_total = int(r_act.sum())
+            if (
+                config.delivery == "deterministic"
+                and n_groups_total <= 2 ** 16
+                and n_total < 2 ** 45
+                and bool(np.all(r_act < act_sizes))
+            ):
+                gbase = np.cumsum(r_act) - r_act
+                if narrow:
+                    gbase = gbase.astype(np.int32)
+                gkey = dest_local if n_act == 1 else (
+                    np.repeat(gbase, isl_counts) + dest_local
+                )
+                order = stable_key_argsort(gkey, n_groups_total)
+                piece_layout = "colmaj"
+            else:
+                order = stable_two_key_argsort(
+                    dist_b.segment_ids(), dest_local, q, r_max
+                )
             piece_values = dist_b.values[order]
         piece_len = np.bincount(piece_key, minlength=total_pieces).astype(
             np.int64, copy=False
@@ -731,9 +782,11 @@ def _ams_level_batched(
     # ------------------------------------------------------------------
     # 3. Data delivery for every island at once
     # ------------------------------------------------------------------
-    sub_sizes = [
-        _split_sizes(int(act_sizes[k]), int(r_act[k])) for k in range(n_act)
-    ]
+    sub_cache = {
+        int(pk): _split_sizes(int(pk), int(rk))
+        for pk, rk in zip(uniq_sz, r_uniq)
+    }
+    sub_sizes = [sub_cache[int(pk)] for pk in act_sizes]
     piece_base = np.zeros(n_act + 1, dtype=np.int64)
     np.cumsum(act_sizes * r_act, out=piece_base[1:])
     piece_mats = [
@@ -752,6 +805,7 @@ def _ams_level_batched(
         phase=PHASE_DATA_DELIVERY,
         schedule=config.exchange_schedule,
         elem_plane=(dist_b.values, elem_dest) if fuse_delivery else None,
+        piece_layout=piece_layout,
     )
     received = delivery.received
 

@@ -193,12 +193,18 @@ def _rlm_level_batched(
     dist_b = dist if n_act == num_isl else dist.take_segments(batch_ranks)
     data_sizes = dist_b.sizes()
 
-    r_act = np.array(
-        [_level_r(plan, level, int(pk)) for pk in act_sizes], dtype=np.int64
+    # Group counts and sub-group layouts depend only on the island size;
+    # evaluate once per distinct size.
+    uniq_sz, inv_sz = np.unique(act_sizes, return_inverse=True)
+    r_uniq = np.array(
+        [_level_r(plan, level, int(pk)) for pk in uniq_sz], dtype=np.int64
     )
-    sub_sizes = [
-        _split_sizes(int(act_sizes[k]), int(r_act[k])) for k in range(n_act)
-    ]
+    r_act = r_uniq[inv_sz]
+    sub_cache = {
+        int(pk): _split_sizes(int(pk), int(rk))
+        for pk, rk in zip(uniq_sz, r_uniq)
+    }
+    sub_sizes = [sub_cache[int(pk)] for pk in act_sizes]
 
     # ------------------------------------------------------------------
     # 1. Splitter selection: exact multisequence selection, all islands in
@@ -206,13 +212,34 @@ def _rlm_level_batched(
     # ------------------------------------------------------------------
     with comm.phase(PHASE_SPLITTER_SELECTION):
         isl_totals = np.add.reduceat(data_sizes, act_off[:-1])
-        ranks_per_island = []
-        for k in range(n_act):
-            cum = np.cumsum(sub_sizes[k])
-            ranks_per_island.append([
-                int((int(isl_totals[k]) * int(c)) // int(act_sizes[k]))
-                for c in cum[:-1]
-            ])
+        if n_act and int(isl_totals.max(initial=0)) * int(act_sizes.max(initial=1)) \
+                < 2 ** 63:
+            # All islands' target ranks in one pass: per-island inclusive
+            # cumsum of the sub-group sizes, last entry dropped, scaled by
+            # total/p — identical to the per-island integer arithmetic.
+            sub_flat = np.concatenate(sub_sizes) if n_act else \
+                np.empty(0, dtype=np.int64)
+            sub_off = np.zeros(n_act + 1, dtype=np.int64)
+            np.cumsum(r_act, out=sub_off[1:])
+            cum = np.cumsum(sub_flat)
+            cum -= np.repeat(
+                cum[sub_off[:-1]] - sub_flat[sub_off[:-1]], r_act
+            )
+            keep = np.ones(int(sub_off[-1]), dtype=bool)
+            keep[sub_off[1:] - 1] = False
+            nr = r_act - 1
+            ranks_flat = (
+                np.repeat(isl_totals, nr) * cum[keep]
+            ) // np.repeat(act_sizes, nr)
+            ranks_per_island = np.split(ranks_flat, np.cumsum(nr)[:-1])
+        else:  # pragma: no cover - int64 headroom fallback
+            ranks_per_island = []
+            for k in range(n_act):
+                cum_k = np.cumsum(sub_sizes[k])
+                ranks_per_island.append([
+                    int((int(isl_totals[k]) * int(c)) // int(act_sizes[k]))
+                    for c in cum_k[:-1]
+                ])
         rngs = [
             machine.group_rng(level, int(batch_members[act_off[k]]))
             for k in range(n_act)

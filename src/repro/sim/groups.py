@@ -21,6 +21,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.dist.flatops import concat_ranges
+
 
 class GroupBatch:
     """A batch of pairwise disjoint PE groups charged in lockstep.
@@ -66,13 +68,10 @@ class GroupBatch:
     def select(self, group_idx: np.ndarray) -> "GroupBatch":
         """Sub-batch containing only the given groups (by index)."""
         group_idx = np.asarray(group_idx, dtype=np.int64)
-        parts = [
-            self.members[self.offsets[g]:self.offsets[g + 1]] for g in group_idx
-        ]
         sizes = self.sizes[group_idx]
         offsets = np.zeros(sizes.size + 1, dtype=np.int64)
         np.cumsum(sizes, out=offsets[1:])
-        members = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        members = self.members[concat_ranges(self.offsets[group_idx], sizes)]
         sub = GroupBatch(self.machine, members, offsets)
         if self._levels is not None:
             sub._levels = self._levels[group_idx]
@@ -115,25 +114,46 @@ class GroupBatch:
         self.synchronize()
         cost = self.machine.cost
         levels = self.levels()
+        n = self.num_groups
         # The scalar cost formula is evaluated through the exact same code
         # path as the reference engine; groups of one level are mostly
-        # identical (size, words, level, rounds), so memoise per signature.
-        cache: dict = {}
-        times = []
-        for g in range(self.num_groups):
-            key = (
-                int(self.sizes[g]),
-                max(int(words[g]), 0),
-                int(levels[g]),
-                1.0 if rounds_factors is None else float(rounds_factors[g]),
-            )
-            t = cache.get(key)
-            if t is None:
-                t = cost.collective_time(
-                    key[0], words=key[1], level=key[2], rounds_factor=key[3]
+        # identical (size, words, level, rounds), so evaluate once per
+        # distinct signature.  Large batches (the per-row / per-column
+        # collectives of the grid sample sort) deduplicate with one
+        # vectorised row-unique instead of a Python loop per group.
+        if n > 8:
+            key = np.empty((n, 4), dtype=np.float64)
+            key[:, 0] = self.sizes
+            key[:, 1] = np.maximum(np.asarray(words, dtype=np.int64), 0)
+            key[:, 2] = levels
+            key[:, 3] = 1.0 if rounds_factors is None else \
+                np.asarray(rounds_factors, dtype=np.float64)
+            uniq, inverse = np.unique(key, axis=0, return_inverse=True)
+            t_uniq = np.array([
+                cost.collective_time(
+                    int(u[0]), words=int(u[1]), level=int(u[2]),
+                    rounds_factor=float(u[3]),
                 )
-                cache[key] = t
-            times.append(t)
+                for u in uniq
+            ], dtype=np.float64)
+            times = t_uniq[inverse.reshape(-1)]
+        else:
+            cache: dict = {}
+            times = []
+            for g in range(n):
+                sig = (
+                    int(self.sizes[g]),
+                    max(int(words[g]), 0),
+                    int(levels[g]),
+                    1.0 if rounds_factors is None else float(rounds_factors[g]),
+                )
+                t = cache.get(sig)
+                if t is None:
+                    t = cost.collective_time(
+                        sig[0], words=sig[1], level=sig[2], rounds_factor=sig[3]
+                    )
+                    cache[sig] = t
+                times.append(t)
         self.advance(times)
         self.machine.counters.record_collective(self.members)
 

@@ -14,6 +14,7 @@ from repro.machine.counters import (
     TrafficCounters,
 )
 from repro.dist.ctr_rng import CounterRNG
+from repro.dist.flatops import enable_malloc_reuse
 from repro.machine.spec import MachineSpec
 from repro.machine.topology import Topology, topology_for
 
@@ -80,6 +81,10 @@ class SimulatedMachine:
     ):
         if p <= 0:
             raise ValueError(f"need at least one PE, got p={p}")
+        # The flat engine's whole-machine temporaries dominate the wall
+        # profile at large p unless freed blocks are recycled with their
+        # pages still mapped; see :func:`repro.dist.flatops.enable_malloc_reuse`.
+        enable_malloc_reuse()
         if spec is None:
             from repro.machine.spec import supermuc_like
 

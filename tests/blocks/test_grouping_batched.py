@@ -1,0 +1,142 @@
+"""Tests for the lockstep Appendix C bound search.
+
+:func:`repro.blocks.grouping.optimal_bucket_grouping_batched` must reproduce
+``optimal_bucket_grouping(..., method='accelerated')`` byte for byte for
+every island of a batch — boundaries, bound (the ``largest_group`` the
+search settled on), group loads (whose minimum-overflow updates drive the
+search) and even the probe count.  The Hypothesis oracle below pins that,
+including the edge regimes the accelerated search special-cases: all-zero
+buckets, islands whose bound search hits infeasible probes (more groups
+needed than available), and oversized single buckets that dominate the
+lower bound.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blocks.grouping import (
+    BatchedGroupingResult,
+    optimal_bucket_grouping,
+    optimal_bucket_grouping_batched,
+)
+
+
+def _flatten(islands):
+    sizes = [np.asarray(s, dtype=np.int64) for s, _ in islands]
+    groups = np.array([r for _, r in islands], dtype=np.int64)
+    offsets = np.zeros(len(islands) + 1, dtype=np.int64)
+    np.cumsum([s.size for s in sizes], out=offsets[1:])
+    flat = np.concatenate(sizes) if islands else np.empty(0, dtype=np.int64)
+    return flat, offsets, groups
+
+
+def _assert_matches_reference(islands):
+    flat, offsets, groups = _flatten(islands)
+    res = optimal_bucket_grouping_batched(flat, offsets, groups)
+    assert isinstance(res, BatchedGroupingResult)
+    assert res.num_islands == len(islands)
+    luts = []
+    for k, (sizes, r) in enumerate(islands):
+        ref = optimal_bucket_grouping(sizes, r, method="accelerated")
+        got = res.result_for(k)
+        assert np.array_equal(got.boundaries, ref.boundaries), k
+        assert got.bound == ref.bound, k
+        assert np.array_equal(got.group_loads, ref.group_loads), k
+        assert got.scan_calls == ref.scan_calls, k
+        luts.append(np.repeat(
+            np.arange(r, dtype=np.int64), np.diff(ref.boundaries)
+        ))
+    assert np.array_equal(
+        res.bucket_group_lut(),
+        np.concatenate(luts) if luts else np.empty(0, dtype=np.int64),
+    )
+
+
+island_strategy = st.tuples(
+    st.lists(st.integers(min_value=0, max_value=500), min_size=0, max_size=24),
+    st.integers(min_value=1, max_value=9),
+)
+
+
+class TestBatchedGroupingHypothesis:
+    @given(st.lists(island_strategy, min_size=1, max_size=8))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_per_island_accelerated(self, islands):
+        _assert_matches_reference(
+            [(np.asarray(s, dtype=np.int64), r) for s, r in islands]
+        )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(st.integers(min_value=0, max_value=6),
+                         min_size=1, max_size=20),
+                st.integers(min_value=1, max_value=4),
+                st.integers(min_value=100, max_value=100000),
+                st.integers(min_value=0, max_value=19),
+            ),
+            min_size=1, max_size=6,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_oversized_single_bucket(self, spec):
+        """One bucket dwarfing the rest forces the max-bucket lower bound."""
+        islands = []
+        for sizes, r, big, pos in spec:
+            arr = np.asarray(sizes, dtype=np.int64)
+            arr[pos % arr.size] = big
+            islands.append((arr, r))
+        _assert_matches_reference(islands)
+
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=2 ** 31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_infeasible_probes_wide_range(self, m, r, scale):
+        """Wide value ranges make early probes infeasible (tight bounds)."""
+        rng = np.random.default_rng(scale)
+        islands = [
+            (rng.integers(0, max(2, scale + 1), size=m).astype(np.int64), r)
+            for _ in range(4)
+        ]
+        _assert_matches_reference(islands)
+
+
+class TestBatchedGroupingEdges:
+    def test_empty_batch(self):
+        res = optimal_bucket_grouping_batched(
+            np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+        assert res.num_islands == 0
+        assert res.boundaries.size == 0
+        assert res.bucket_group_lut().size == 0
+
+    def test_mixed_trivial_and_searching_islands(self):
+        _assert_matches_reference([
+            (np.empty(0, dtype=np.int64), 3),        # no buckets
+            (np.zeros(5, dtype=np.int64), 2),        # zero total
+            (np.array([7, 1, 1, 9, 2]), 3),          # regular search
+            (np.array([1, 1000, 1]), 2),             # oversized bucket
+            (np.ones(16, dtype=np.int64), 4),        # uniform buckets
+        ])
+
+    def test_single_island_matches(self):
+        _assert_matches_reference([(np.array([5, 1, 7, 2, 2, 9]), 3)])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_bucket_grouping_batched(
+                np.array([1, 2]), np.array([0, 2]), np.array([0])
+            )
+        with pytest.raises(ValueError):
+            optimal_bucket_grouping_batched(
+                np.array([1, -2]), np.array([0, 2]), np.array([1])
+            )
+        with pytest.raises(ValueError):
+            optimal_bucket_grouping_batched(
+                np.array([1, 2]), np.array([0, 2]), np.array([1, 1])
+            )
