@@ -51,8 +51,9 @@ def profile_run(
     algorithm: str = "ams",
     seed: int = 0,
     engine: str = "flat",
+    backend: str | None = None,
 ):
-    """One profiled run; returns ``(wall_seconds, phase_wall, SortResult)``."""
+    """One profiled run; returns ``(wall_seconds, phase_wall, SortResult, machine)``."""
     rng = np.random.default_rng(1)
     data = rng.integers(0, 2 ** 62, size=p * n_per_pe, dtype=np.int64)
     dist = DistArray.from_sizes(data, np.full(p, n_per_pe, dtype=np.int64))
@@ -65,10 +66,10 @@ def profile_run(
     t0 = time.perf_counter()
     result = run_on_machine(
         machine, dist, algorithm=algorithm, config=config,
-        validate=False, engine=engine,
+        validate=False, engine=engine, backend=backend,
     )
     wall = time.perf_counter() - t0
-    return wall, dict(machine.wall_profile), result
+    return wall, dict(machine.wall_profile), result, machine
 
 
 def format_profile(wall: float, phase_wall: dict) -> str:
@@ -102,6 +103,9 @@ def main(argv=None) -> int:
     parser.add_argument("--levels", type=int, default=3)
     parser.add_argument("--algorithm", default="ams", choices=("ams", "rlm"))
     parser.add_argument("--engine", default="flat", choices=("flat", "reference"))
+    parser.add_argument("--backend", default=None,
+                        help="kernel backend spec ('numpy', 'sharedmem', "
+                             "'sharedmem:N'); default: REPRO_BACKEND or numpy")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--repeat", type=int, default=1,
                         help="run N times and report the per-phase median "
@@ -122,9 +126,10 @@ def main(argv=None) -> int:
     for rep in range(args.repeat):
         if profiler is not None and rep == 0:
             profiler.enable()
-        wall_i, phase_i, result = profile_run(
+        wall_i, phase_i, result, machine = profile_run(
             args.p, n_per_pe=args.n_per_pe, levels=args.levels,
             algorithm=args.algorithm, seed=args.seed, engine=args.engine,
+            backend=args.backend,
         )
         if profiler is not None and rep == 0:
             profiler.disable()
@@ -135,7 +140,8 @@ def main(argv=None) -> int:
     label = "median of %d runs" % args.repeat if args.repeat > 1 else "1 run"
     print(
         f"{args.algorithm} p={args.p} n/p={args.n_per_pe} levels={args.levels} "
-        f"engine={args.engine}: modelled={result.total_time:.5f}s ({label})"
+        f"engine={args.engine} backend={machine.backend_used}: "
+        f"modelled={result.total_time:.5f}s ({label})"
     )
     print(format_profile(wall, phase_wall))
 
@@ -153,6 +159,7 @@ def main(argv=None) -> int:
             "levels": args.levels,
             "algorithm": args.algorithm,
             "engine": args.engine,
+            "backend": machine.backend_used,
             "repeat": args.repeat,
             "wall_s": wall,
             "phase_wall_s": phase_wall,

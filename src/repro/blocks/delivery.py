@@ -49,9 +49,11 @@ from repro.blocks.feistel import FeistelPermutation
 from repro.dist.array import DistArray
 from repro.dist.flatops import (
     concat_ranges,
+    gather,
     split_intervals,
     stable_key_argsort,
     stable_two_key_argsort,
+    take_ranges,
 )
 from repro.machine.counters import PHASE_DATA_DELIVERY
 from repro.sim.exchange import ExchangeResult, FlatExchangeResult, FlatMessages
@@ -950,7 +952,7 @@ def deliver_to_groups_flat(
         run_src = msgs.src[order]
         run_dest = msgs.dest[order]
         run_lengths = msgs.length[order]
-        recv_values = piece_values[concat_ranges(msgs.start[order], run_lengths)]
+        recv_values = take_ranges(piece_values, msgs.start[order], run_lengths)
         received_sizes = np.zeros(p, dtype=np.int64)
         np.add.at(received_sizes, msgs.dest, msgs.length)
         received = DistArray.from_sizes(recv_values, received_sizes)
@@ -1401,10 +1403,10 @@ def deliver_to_groups_batched(
         if fused:
             elem_values, elem_dest = elem_plane
             eorder = stable_key_argsort(np.asarray(elem_dest), q)
-            recv_values = np.asarray(elem_values)[eorder]
+            recv_values = gather(np.asarray(elem_values), eorder)
         else:
             order = stable_two_key_argsort(dest, src, q, q)
-            recv_values = piece_values[concat_ranges(start[order], length[order])]
+            recv_values = take_ranges(piece_values, start[order], length[order])
         received_sizes = np.bincount(
             dest, weights=length, minlength=q
         ).astype(np.int64)

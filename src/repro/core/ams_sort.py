@@ -59,13 +59,16 @@ from repro.blocks.sampling import (
 from repro.core.config import AMSConfig
 from repro.dist.array import DistArray
 from repro.dist.flatops import (
+    bincount,
     blockwise_searchsorted,
     concat_ranges,
+    gather,
     map_by_unique,
     map_by_unique2,
     segmented_sort_values,
     stable_key_argsort,
     stable_two_key_argsort,
+    take_ranges,
 )
 from repro.machine.counters import (
     PHASE_BUCKET_PROCESSING,
@@ -316,9 +319,9 @@ def _level_result(
         old_sizes = np.diff(dist.offsets)
         new_values[
             concat_ranges(new_offsets[passive_ranks], old_sizes[passive_ranks])
-        ] = dist.values[
-            concat_ranges(dist.offsets[passive_ranks], old_sizes[passive_ranks])
-        ]
+        ] = take_ranges(
+            dist.values, dist.offsets[passive_ranks], old_sizes[passive_ranks]
+        )
         new_dist = DistArray(new_values, new_offsets)
 
     # Next-level island offsets: active islands contribute their sub-group
@@ -672,14 +675,14 @@ def _ams_level_batched(
         # so the ragged reduction can skip its range validation passes.
         if n_act == 1:
             isl_bucket_key = bucket_of
-            gbs_flat = np.bincount(
+            gbs_flat = bincount(
                 bucket_of, minlength=int(nb_off[-1])
             ).astype(np.int64, copy=False)
         else:
             isl_bucket_key = (
                 np.repeat(nb_off[:-1], np.diff(elem_off)) + bucket_of
             )
-            gbs_flat = np.bincount(
+            gbs_flat = bincount(
                 isl_bucket_key, minlength=int(nb_off[-1])
             ).astype(np.int64, copy=False)
         islands.charge_collective(nb_per_isl)
@@ -766,8 +769,8 @@ def _ams_level_batched(
                 order = stable_two_key_argsort(
                     dist_b.segment_ids(), dest_local, q, r_max
                 )
-            piece_values = dist_b.values[order]
-        piece_len = np.bincount(piece_key, minlength=total_pieces).astype(
+            piece_values = gather(dist_b.values, order)
+        piece_len = bincount(piece_key, minlength=total_pieces).astype(
             np.int64, copy=False
         )
         machine.advance_many(

@@ -27,7 +27,12 @@ from repro.blocks.delivery import deliver_to_groups, deliver_to_groups_flat
 from repro.blocks.multiselect import multisequence_select, multisequence_select_flat
 from repro.blocks.sampling import draw_samples_flat, splitter_ranks
 from repro.dist.array import DistArray
-from repro.dist.flatops import stable_key_argsort, stable_two_key_argsort
+from repro.dist.flatops import (
+    bincount,
+    gather,
+    stable_key_argsort,
+    stable_two_key_argsort,
+)
 from repro.machine.counters import (
     PHASE_BUCKET_PROCESSING,
     PHASE_DATA_DELIVERY,
@@ -263,8 +268,8 @@ def _single_level_sample_sort_flat(
             dest = bucket_indices(dist.values, splitters)
         key = seg * p + dest
         order = stable_two_key_argsort(seg, dest, p, p)
-        piece_values = dist.values[order]
-        piece_sizes = np.bincount(key, minlength=p * p).reshape(p, p).astype(
+        piece_values = gather(dist.values, order)
+        piece_sizes = bincount(key, minlength=p * p).reshape(p, p).astype(
             np.int64, copy=False
         )
         comm.charge_partition(sizes, p)
@@ -366,8 +371,8 @@ def _parallel_quicksort_flat(
             side = (dist.values > pivot).astype(np.int64)
         key = seg * 2 + side
         order = stable_key_argsort(key, p * 2)
-        piece_values = dist.values[order]
-        piece_sizes = np.bincount(key, minlength=p * 2).reshape(p, 2).astype(
+        piece_values = gather(dist.values, order)
+        piece_sizes = bincount(key, minlength=p * 2).reshape(p, 2).astype(
             np.int64, copy=False
         )
         comm.charge_partition(sizes, 2)

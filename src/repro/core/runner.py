@@ -174,6 +174,7 @@ def run_on_machine(
     validate: bool = True,
     max_imbalance: Optional[float] = None,
     engine: str = "flat",
+    backend: "object | str | None" = None,
     **kwargs: object,
 ) -> SortResult:
     """Run a distributed sorting algorithm on an existing machine.
@@ -198,10 +199,20 @@ def run_on_machine(
         ``'flat'`` (default) runs the vectorised :class:`DistArray` engine;
         ``'reference'`` runs the per-PE seed implementation.  Both produce
         byte-identical outputs, clocks and phase breakdowns.
+    backend:
+        Kernel backend executing the flat engine's element-scale array
+        kernels: a :class:`~repro.dist.backend.base.KernelBackend`
+        instance or spec string (``'numpy'``, ``'sharedmem'``,
+        ``'sharedmem:4'``).  ``None`` uses the machine's backend, else the
+        process default (``REPRO_BACKEND`` or numpy).  Backends are
+        byte-identical, so this changes wall-clock time only — never the
+        result, the clocks or the RNG streams.
     kwargs:
         Extra keyword arguments forwarded to the algorithm function
         (baselines take e.g. ``oversampling`` or ``schedule``).
     """
+    from repro.dist.backend import use_backend
+
     if len(local_data) != machine.p:
         raise ValueError("need one input array per PE")
     machine.reset()
@@ -217,7 +228,11 @@ def run_on_machine(
     else:
         run_input = list(local_data)
         input_list = run_input
-    output = func(comm, run_input, **call_kwargs)
+    if backend is None:
+        backend = machine.backend
+    with use_backend(backend) as active_backend:
+        machine.backend_used = active_backend.name
+        output = func(comm, run_input, **call_kwargs)
     if isinstance(output, DistArray):
         output = output.to_list()
 

@@ -23,7 +23,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.dist.flatops import concat_ranges, segment_ids, segmented_sort_values
+from repro.dist.flatops import segment_ids, segmented_sort_values, take_ranges
 
 
 class DistArray:
@@ -138,7 +138,7 @@ class DistArray:
         """Sub-array over an arbitrary (ascending or not) list of segments.
 
         Segment ``k`` of the result is segment ``idx[k]`` of this array; the
-        values are gathered with one :func:`~repro.dist.flatops.concat_ranges`
+        values are gathered with one :func:`~repro.dist.flatops.take_ranges`
         indexing pass.  Unlike :meth:`slice_segments` this copies.
         """
         idx = np.asarray(idx, dtype=np.int64)
@@ -147,7 +147,7 @@ class DistArray:
         if idx.min() < 0 or idx.max() >= self.p:
             raise IndexError("segment index out of range")
         sizes = self.sizes()[idx]
-        values = self.values[concat_ranges(self.offsets[idx], sizes)]
+        values = take_ranges(self.values, self.offsets[idx], sizes)
         return DistArray.from_sizes(values, sizes)
 
     # ------------------------------------------------------------------

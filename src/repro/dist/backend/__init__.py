@@ -1,0 +1,125 @@
+"""Kernel backend registry: resolution, installation, scoped switching.
+
+The flat engine's element-scale kernels (:mod:`repro.dist.flatops`)
+dispatch to one process-wide active :class:`~repro.dist.backend.base.
+KernelBackend`.  This package resolves *backend specs* to instances and
+swaps the active backend:
+
+* ``get_backend(None)`` — the process default: whatever :func:`install`
+  set, else the ``REPRO_BACKEND`` environment variable, else ``numpy``.
+* ``get_backend("numpy")`` — the in-process reference backend.
+* ``get_backend("sharedmem")`` / ``"sharedmem:4"`` — the shared-memory
+  worker-pool backend (optionally with an explicit worker count).
+* ``get_backend(instance)`` — pass-through for a constructed backend.
+
+Named specs resolve to process-wide singletons so repeated runs share one
+worker pool.  :func:`use_backend` scopes a switch to a ``with`` block —
+that is what ``run_on_machine(..., backend=...)`` uses, so one process can
+compare backends without touching global state permanently.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Optional, Union
+
+from repro.dist import flatops
+from repro.dist.backend.base import KernelBackend
+from repro.dist.backend.numpy_backend import NumpyBackend
+from repro.dist.backend.sharedmem import SharedMemBackend
+
+__all__ = [
+    "KernelBackend",
+    "NumpyBackend",
+    "SharedMemBackend",
+    "BACKEND_NAMES",
+    "get_backend",
+    "current_backend",
+    "install",
+    "use_backend",
+]
+
+#: Spec names accepted by ``--backend`` flags and ``REPRO_BACKEND``
+#: (``sharedmem`` also accepts a ``:N`` worker-count suffix).
+BACKEND_NAMES = ("numpy", "sharedmem")
+
+_INSTANCES: dict = {}
+_DEFAULT: Optional[KernelBackend] = None  # set by install()
+
+
+def _from_spec(spec: str) -> KernelBackend:
+    name, _, arg = spec.partition(":")
+    name = name.strip().lower()
+    if name == "numpy" and not arg:
+        return NumpyBackend()
+    if name == "sharedmem":
+        if not arg:
+            return SharedMemBackend()
+        try:
+            workers = int(arg)
+        except ValueError:
+            raise ValueError(
+                f"bad backend spec {spec!r}: worker count must be an integer"
+            ) from None
+        return SharedMemBackend(workers=workers)
+    raise ValueError(
+        f"unknown backend {spec!r}; known: {', '.join(BACKEND_NAMES)} "
+        "(sharedmem takes an optional ':<workers>' suffix)"
+    )
+
+
+def get_backend(
+    spec: Union[None, str, KernelBackend] = None
+) -> KernelBackend:
+    """Resolve a backend spec to a (usually shared) instance."""
+    if isinstance(spec, KernelBackend):
+        return spec
+    if spec is None:
+        if _DEFAULT is not None:
+            return _DEFAULT
+        spec = os.environ.get("REPRO_BACKEND", "").strip() or "numpy"
+    key = str(spec).strip().lower()
+    inst = _INSTANCES.get(key)
+    if inst is None:
+        inst = _from_spec(key)
+        _INSTANCES[key] = inst
+    return inst
+
+
+def current_backend() -> KernelBackend:
+    """The backend the kernel dispatchers are using right now."""
+    return flatops._active_backend()
+
+
+def install(spec: Union[None, str, KernelBackend]) -> KernelBackend:
+    """Set the process-wide active backend; returns the instance.
+
+    ``install(None)`` reverts to environment resolution (``REPRO_BACKEND``
+    or numpy).
+    """
+    global _DEFAULT
+    backend = None if spec is None else get_backend(spec)
+    _DEFAULT = backend
+    flatops._BACKEND = backend
+    return backend if backend is not None else get_backend(None)
+
+
+@contextmanager
+def use_backend(spec: Union[None, str, KernelBackend]):
+    """Scope the active backend to a ``with`` block.
+
+    ``None`` keeps whatever is active (so call sites can thread an optional
+    backend argument through unconditionally).
+    """
+    if spec is None:
+        yield current_backend()
+        return
+    saved_default = _DEFAULT
+    saved_active = flatops._BACKEND
+    backend = install(spec)
+    try:
+        yield backend
+    finally:
+        globals()["_DEFAULT"] = saved_default
+        flatops._BACKEND = saved_active

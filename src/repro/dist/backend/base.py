@@ -1,0 +1,169 @@
+"""``KernelBackend`` — the engine's whole-machine primitives as an interface.
+
+The flat execution engine issues a handful of *element-scale* kernels per
+recursion level (segmented sorts, segmented/blockwise binary searches,
+ragged histograms, stable radix argsorts and the gather passes that apply
+them).  Everything else the engine does — cost accounting, island
+bookkeeping, message descriptor assembly — is tiny by comparison.  This
+module extracts exactly that hot kernel set behind a small ABC so that one
+simulated machine can be driven by interchangeable execution substrates:
+
+* :class:`~repro.dist.backend.numpy_backend.NumpyBackend` — backend zero,
+  the existing single-process numpy kernels of :mod:`repro.dist.flatops`;
+* :class:`~repro.dist.backend.sharedmem.SharedMemBackend` — a persistent
+  worker pool over shared memory that partitions each kernel by PE/segment
+  or element ranges (the CSR ``DistArray`` layout splits cleanly on segment
+  boundaries) and merges the per-shard results deterministically.
+
+**Byte-identity contract.**  Every backend must return bit-identical arrays
+for identical inputs — the engine's equivalence suites pin the flat engine
+against the per-PE reference *through* whichever backend is active, so a
+backend that reorders ties, changes a dtype or reassociates a float sum is
+a correctness bug, not a performance trade-off.  The kernels below are
+chosen so that deterministic parallel merges exist: value sorts are
+strategy-independent, searches and gathers are positionally independent,
+histogram counts are integer sums, and stable argsorts have a unique
+answer that a counting sort reproduces shard by shard.
+
+Backends never touch modelled time: kernels are simulator *bookkeeping*,
+which the cost-model contract leaves free to optimise.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+
+class KernelBackend(ABC):
+    """Interface for the flat engine's whole-machine array kernels.
+
+    Semantics of every method are defined by the reference implementations
+    in :mod:`repro.dist.flatops` (the ``*_numpy`` functions); see their
+    docstrings for the exact contracts.  Implementations must be
+    *byte-identical* to those references on every input.
+    """
+
+    #: Short identifier used by ``--backend`` flags and ``REPRO_BACKEND``.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Segmented sorting and searching
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def segmented_sort_values(
+        self, values: np.ndarray, offsets: np.ndarray
+    ) -> np.ndarray:
+        """Sort every CSR segment independently (per-PE local sorts)."""
+
+    @abstractmethod
+    def segmented_searchsorted(
+        self,
+        values: np.ndarray,
+        offsets: np.ndarray,
+        queries: np.ndarray,
+        query_seg: np.ndarray,
+        side: Union[str, np.ndarray] = "left",
+        lo: Optional[np.ndarray] = None,
+        hi: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Insertion position of every query inside its own sorted segment."""
+
+    @abstractmethod
+    def blockwise_searchsorted(
+        self,
+        values: np.ndarray,
+        offsets: np.ndarray,
+        queries: np.ndarray,
+        query_offsets: np.ndarray,
+        side: str = "left",
+    ) -> np.ndarray:
+        """Per-segment ``searchsorted`` for queries grouped by segment."""
+
+    # ------------------------------------------------------------------
+    # Histograms
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def ragged_bincount(
+        self,
+        seg: np.ndarray,
+        key: np.ndarray,
+        key_offsets: np.ndarray,
+        validate: bool = True,
+    ) -> np.ndarray:
+        """Per-segment histograms with per-segment bin counts, back to back."""
+
+    @abstractmethod
+    def bincount(
+        self,
+        key: np.ndarray,
+        minlength: int = 0,
+        weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``np.bincount`` (the engine's element-scale reductions)."""
+
+    # ------------------------------------------------------------------
+    # Stable radix argsort / reorder
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def stable_key_argsort(self, key: np.ndarray, key_bound: int) -> np.ndarray:
+        """Stable argsort of non-negative integer keys below ``key_bound``."""
+
+    @abstractmethod
+    def stable_two_key_argsort(
+        self,
+        major: np.ndarray,
+        minor: np.ndarray,
+        major_bound: int,
+        minor_bound: int,
+    ) -> np.ndarray:
+        """Stable argsort by ``(major, minor)`` pairs of small ints."""
+
+    # ------------------------------------------------------------------
+    # Gather / exchange assembly
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def gather(self, values: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """``values[indices]`` — apply a permutation / index plane."""
+
+    @abstractmethod
+    def take_ranges(
+        self, values: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+    ) -> np.ndarray:
+        """Concatenate ``values[starts[k]:starts[k]+lengths[k]]`` for all k.
+
+        The gather-scatter primitive of exchange assembly and
+        ``DistArray.take_segments``: equivalent to
+        ``values[concat_ranges(starts, lengths)]`` without materialising
+        the index ramp in the caller.
+        """
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_parallel(self) -> bool:
+        """Whether kernels may execute on more than one OS thread/process."""
+        return False
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-kernel dispatch counters (empty for stateless backends)."""
+        return {}
+
+    def close(self) -> None:
+        """Release pools/shared memory; the backend stays usable (lazy restart)."""
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return self.name
+
+    def __enter__(self) -> "KernelBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self.describe()})"

@@ -4,11 +4,21 @@ These helpers are the numpy building blocks the :class:`~repro.dist.array.
 DistArray` engine is made of.  They contain no simulator state and no cost
 accounting — they are pure data transformations, shared by the flat ports of
 the exchange, delivery, partitioning and merging steps.
+
+The element-scale kernels (segmented sorts and searches, histograms, stable
+radix argsorts, gathers) are *dispatched*: the public names forward to the
+active :class:`~repro.dist.backend.base.KernelBackend`, whose default — the
+``*_numpy`` reference implementations in this module, wrapped as
+:class:`~repro.dist.backend.numpy_backend.NumpyBackend` — is the
+single-process numpy engine.  ``REPRO_BACKEND=sharedmem`` (or
+``run_on_machine(..., backend=...)``) swaps in the shared-memory
+multiprocess backend; every backend is byte-identical to the reference, so
+the choice never changes engine output.
 """
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -20,6 +30,14 @@ def segment_ids(offsets: np.ndarray) -> np.ndarray:
     entries, with value ``i`` repeated ``offsets[i+1] - offsets[i]`` times.
     Computed as a cumulative sum of boundary markers, which is considerably
     faster than ``np.repeat`` for large element counts.
+
+    Deliberately int64: the ids index offset tables (``key_offsets[seg]``)
+    and feed ``astype`` widenings in the composed-key sorts, and numpy
+    upcasts any non-``intp`` integer index array on every use — measured at
+    p=4096 (two-level AMS) an int32 variant cost ~15% total wall.  Keys are
+    narrowed where it actually pays, at the radix-sort boundary
+    (:func:`stable_key_argsort_numpy`), where the one narrowing copy buys an
+    order-of-magnitude faster sort.
     """
     offsets = np.asarray(offsets, dtype=np.int64)
     total = int(offsets[-1])
@@ -66,35 +84,44 @@ def enable_malloc_reuse() -> bool:
     return True
 
 
-_ARANGE_CACHE = np.empty(0, dtype=np.int64)
+_ARANGE_CACHES: dict = {}
 
 
-def cached_arange(n: int) -> np.ndarray:
-    """Read-only view of ``np.arange(n)`` from a persistent workspace.
+def cached_arange(n: int, dtype=np.int64) -> np.ndarray:
+    """Read-only view of ``np.arange(n, dtype=dtype)`` from a persistent workspace.
 
     The flat engine builds ``0..total`` index ramps on every level
     (:func:`concat_ranges`, padded sorts); the ramp's contents never change,
-    so one shared buffer — grown geometrically, marked read-only so a
-    mutating caller fails loudly instead of corrupting it — replaces the
-    per-call fills.  Callers that need a writable ramp must copy (any
+    so one shared buffer per dtype — grown geometrically, marked read-only
+    so a mutating caller fails loudly instead of corrupting it — replaces
+    the per-call fills.  Callers that need a writable ramp must copy (any
     arithmetic on the view allocates a fresh array anyway).
     """
-    global _ARANGE_CACHE
-    if _ARANGE_CACHE.size < n:
-        _ARANGE_CACHE = np.arange(max(n, 2 * _ARANGE_CACHE.size), dtype=np.int64)
-        _ARANGE_CACHE.setflags(write=False)
-    return _ARANGE_CACHE[:n]
+    dt = np.dtype(dtype)
+    cache = _ARANGE_CACHES.get(dt)
+    if cache is None or cache.size < n:
+        old = 0 if cache is None else cache.size
+        cache = np.arange(max(n, 2 * old), dtype=dt)
+        cache.setflags(write=False)
+        _ARANGE_CACHES[dt] = cache
+    return cache[:n]
 
 
 def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     """Index array gathering the ranges ``[starts[k], starts[k]+lengths[k])``.
 
-    The returned int64 array has ``lengths.sum()`` entries and enumerates all
+    The returned array has ``lengths.sum()`` entries and enumerates all
     ranges back to back, so ``buffer[concat_ranges(s, l)]`` concatenates the
     ranges without any Python-level loop.  Zero-length ranges are skipped.
     Built as ``arange(total)`` plus a per-range shift broadcast with
     ``np.repeat`` — two sequential passes over the output, with the cumsum
     confined to the (short) per-range vector instead of the element axis.
+
+    Deliberately int64 (``intp``): the result exists to fancy-index value
+    buffers, and numpy converts any non-``intp`` integer index array on
+    every indexing use — an int32 variant (halved build traffic, but one
+    upcast pass per gather/scatter) measured ~25% slower total wall at
+    p=4096 two-level AMS, concentrated in data delivery.
     """
     starts = np.asarray(starts, dtype=np.int64)
     lengths = np.asarray(lengths, dtype=np.int64)
@@ -106,11 +133,12 @@ def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     # Position k of range i maps to starts[i] + k; relative to the flat
     # output position this is a constant shift per range.
     excl = np.cumsum(lengths) - lengths
-    return cached_arange(total) + np.repeat(starts - excl, lengths)
+    shift = starts - excl
+    return cached_arange(total) + np.repeat(shift, lengths)
 
 
-def stable_key_argsort(key: np.ndarray, key_bound: int) -> np.ndarray:
-    """Stable argsort of non-negative integer keys smaller than ``key_bound``.
+def stable_key_argsort_numpy(key: np.ndarray, key_bound: int) -> np.ndarray:
+    """Reference implementation of :func:`stable_key_argsort`.
 
     numpy's stable sort is a radix sort only for (u)int8/16 — an order of
     magnitude faster than the comparison sort used for wider integers — so
@@ -127,10 +155,10 @@ def stable_key_argsort(key: np.ndarray, key_bound: int) -> np.ndarray:
     return np.argsort(key, kind="stable")
 
 
-def stable_two_key_argsort(
+def stable_two_key_argsort_numpy(
     major: np.ndarray, minor: np.ndarray, major_bound: int, minor_bound: int
 ) -> np.ndarray:
-    """Stable argsort by ``(major, minor)`` pairs of small non-negative ints.
+    """Reference implementation of :func:`stable_two_key_argsort`.
 
     When the combined key range fits 16 bits a single radix argsort is used;
     otherwise an LSD two-pass radix (stable sort by minor, then by major)
@@ -138,7 +166,7 @@ def stable_two_key_argsort(
     argsort of ``major * minor_bound + minor``.
     """
     if 0 <= major_bound * minor_bound <= 2 ** 16:
-        return stable_key_argsort(
+        return stable_key_argsort_numpy(
             major * minor_bound + minor, major_bound * minor_bound
         )
     if major_bound <= 2 ** 16 and minor_bound <= 2 ** 16:
@@ -147,7 +175,11 @@ def stable_two_key_argsort(
             major.astype(np.uint16, copy=False)[order], kind="stable"
         )
         return order[order2]
-    return stable_key_argsort(major * minor_bound + minor, major_bound * minor_bound)
+    # Composed int64 keys: widen explicitly — narrow ids (int32 segment
+    # ids) times a python-int bound would stay int32 under NEP 50 and
+    # overflow for bounds this branch exists for.
+    key = major.astype(np.int64, copy=False) * minor_bound + minor
+    return stable_key_argsort_numpy(key, major_bound * minor_bound)
 
 
 def _composed_radix_segment_sort(
@@ -174,7 +206,7 @@ def _composed_radix_segment_sort(
     seg_bits = int(p - 1).bit_length()
     if value_bits + seg_bits > 63:
         return None
-    seg = segment_ids(offsets)
+    seg = segment_ids(offsets).astype(np.int64, copy=False)
     key = (seg << np.int64(value_bits)) | (values.astype(np.int64) - vmin)
     key.sort()
     key &= np.int64((1 << value_bits) - 1)
@@ -215,8 +247,10 @@ def _padded_segment_sort(
     return flat[flat_idx]
 
 
-def segmented_sort_values(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
-    """Stable-sort every segment of a CSR layout independently.
+def segmented_sort_values_numpy(
+    values: np.ndarray, offsets: np.ndarray
+) -> np.ndarray:
+    """Reference implementation of :func:`segmented_sort_values`.
 
     Byte-identical to ``np.sort(segment, kind="stable")`` applied per
     segment (for plain values a sort's output does not depend on the sort's
@@ -262,7 +296,7 @@ def segmented_sort_values(values: np.ndarray, offsets: np.ndarray) -> np.ndarray
     return values[order]
 
 
-def segmented_searchsorted(
+def segmented_searchsorted_numpy(
     values: np.ndarray,
     offsets: np.ndarray,
     queries: np.ndarray,
@@ -271,7 +305,7 @@ def segmented_searchsorted(
     lo: np.ndarray = None,
     hi: np.ndarray = None,
 ) -> np.ndarray:
-    """Insertion position of every query inside its own sorted segment.
+    """Reference implementation of :func:`segmented_searchsorted`.
 
     ``values``/``offsets`` form a CSR layout whose segments are each sorted
     in non-decreasing order; query ``k`` is looked up in segment
@@ -338,14 +372,14 @@ def segmented_searchsorted(
     return cur_lo - base
 
 
-def blockwise_searchsorted(
+def blockwise_searchsorted_numpy(
     values: np.ndarray,
     offsets: np.ndarray,
     queries: np.ndarray,
     query_offsets: np.ndarray,
     side: str = "left",
 ) -> np.ndarray:
-    """Per-segment ``searchsorted`` for queries grouped by segment.
+    """Reference implementation of :func:`blockwise_searchsorted`.
 
     Segment ``s`` of the (individually sorted) CSR layout
     ``values``/``offsets`` is probed with the query block
@@ -621,11 +655,11 @@ def _bucketize_with_table(
     return res
 
 
-def ragged_bincount(
+def ragged_bincount_numpy(
     seg: np.ndarray, key: np.ndarray, key_offsets: np.ndarray,
     validate: bool = True,
 ) -> np.ndarray:
-    """Per-segment histograms with a per-segment number of bins, back to back.
+    """Reference implementation of :func:`ragged_bincount`.
 
     Item ``k`` belongs to segment ``seg[k]`` and falls into that segment's
     bin ``key[k]``; segment ``s`` owns ``key_offsets[s+1] - key_offsets[s]``
@@ -639,8 +673,11 @@ def ragged_bincount(
     whole-array passes); engine-internal callers whose keys come straight
     out of a ``searchsorted`` against the segment's own boundaries use it.
     """
-    seg = np.asarray(seg, dtype=np.int64)
-    key = np.asarray(key, dtype=np.int64)
+    # Narrow ids (int32 segment expansions, int32 bucket indices) are kept
+    # as-is: indexing and the mixed-width add below promote exactly, so
+    # forcing int64 here would only add element-scale copies.
+    seg = np.asarray(seg)
+    key = np.asarray(key)
     key_offsets = np.asarray(key_offsets, dtype=np.int64)
     if seg.shape != key.shape:
         raise ValueError("seg and key must have the same shape")
@@ -650,6 +687,151 @@ def ragged_bincount(
             raise IndexError("bin index out of range for its segment")
     counts = np.bincount(key_offsets[seg] + key, minlength=int(key_offsets[-1]))
     return counts.astype(np.int64, copy=False)
+
+
+def bincount_numpy(
+    key: np.ndarray, minlength: int = 0, weights: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Reference implementation of :func:`bincount` (plain ``np.bincount``)."""
+    return np.bincount(key, weights=weights, minlength=minlength)
+
+
+def gather_numpy(values: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Reference implementation of :func:`gather` (``values[indices]``)."""
+    return values[indices]
+
+
+def take_ranges_numpy(
+    values: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Reference implementation of :func:`take_ranges`."""
+    return values[concat_ranges(starts, lengths)]
+
+
+# ----------------------------------------------------------------------
+# Kernel dispatch
+# ----------------------------------------------------------------------
+# The active backend executing the element-scale kernels above.  ``None``
+# until first use, then resolved from ``REPRO_BACKEND`` (default: the
+# in-process numpy reference) by :func:`repro.dist.backend.get_backend`;
+# :func:`repro.dist.backend.install` / ``use_backend`` swap it.
+
+_BACKEND = None
+
+
+def _active_backend():
+    global _BACKEND
+    if _BACKEND is None:
+        from repro.dist.backend import get_backend
+
+        _BACKEND = get_backend(None)
+    return _BACKEND
+
+
+def segmented_sort_values(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Stable-sort every segment of a CSR layout independently.
+
+    Dispatches to the active backend; byte-identical to
+    :func:`segmented_sort_values_numpy` (the full contract) on every
+    backend.
+    """
+    return _active_backend().segmented_sort_values(values, offsets)
+
+
+def segmented_searchsorted(
+    values: np.ndarray,
+    offsets: np.ndarray,
+    queries: np.ndarray,
+    query_seg: np.ndarray,
+    side: Union[str, np.ndarray] = "left",
+    lo: np.ndarray = None,
+    hi: np.ndarray = None,
+) -> np.ndarray:
+    """Insertion position of every query inside its own sorted segment.
+
+    Dispatches to the active backend; byte-identical to
+    :func:`segmented_searchsorted_numpy` (the full contract) on every
+    backend.
+    """
+    return _active_backend().segmented_searchsorted(
+        values, offsets, queries, query_seg, side=side, lo=lo, hi=hi
+    )
+
+
+def blockwise_searchsorted(
+    values: np.ndarray,
+    offsets: np.ndarray,
+    queries: np.ndarray,
+    query_offsets: np.ndarray,
+    side: str = "left",
+) -> np.ndarray:
+    """Per-segment ``searchsorted`` for queries grouped by segment.
+
+    Dispatches to the active backend; byte-identical to
+    :func:`blockwise_searchsorted_numpy` (the full contract) on every
+    backend.
+    """
+    return _active_backend().blockwise_searchsorted(
+        values, offsets, queries, query_offsets, side=side
+    )
+
+
+def ragged_bincount(
+    seg: np.ndarray, key: np.ndarray, key_offsets: np.ndarray,
+    validate: bool = True,
+) -> np.ndarray:
+    """Per-segment histograms with a per-segment number of bins, back to back.
+
+    Dispatches to the active backend; byte-identical to
+    :func:`ragged_bincount_numpy` (the full contract) on every backend.
+    """
+    return _active_backend().ragged_bincount(seg, key, key_offsets, validate=validate)
+
+
+def bincount(
+    key: np.ndarray, minlength: int = 0, weights: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """``np.bincount`` through the active backend (element-scale reductions)."""
+    return _active_backend().bincount(key, minlength=minlength, weights=weights)
+
+
+def stable_key_argsort(key: np.ndarray, key_bound: int) -> np.ndarray:
+    """Stable argsort of non-negative integer keys smaller than ``key_bound``.
+
+    Dispatches to the active backend; byte-identical to
+    :func:`stable_key_argsort_numpy` on every backend (the stable
+    permutation is unique, so there is exactly one right answer).
+    """
+    return _active_backend().stable_key_argsort(key, key_bound)
+
+
+def stable_two_key_argsort(
+    major: np.ndarray, minor: np.ndarray, major_bound: int, minor_bound: int
+) -> np.ndarray:
+    """Stable argsort by ``(major, minor)`` pairs of small non-negative ints.
+
+    Dispatches to the active backend; byte-identical to
+    :func:`stable_two_key_argsort_numpy` on every backend.
+    """
+    return _active_backend().stable_two_key_argsort(
+        major, minor, major_bound, minor_bound
+    )
+
+
+def gather(values: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """``values[indices]`` through the active backend (permutation planes)."""
+    return _active_backend().gather(values, indices)
+
+
+def take_ranges(
+    values: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """``values[concat_ranges(starts, lengths)]`` through the active backend.
+
+    The gather half of exchange assembly: concatenates the value ranges
+    ``[starts[k], starts[k] + lengths[k])`` back to back.
+    """
+    return _active_backend().take_ranges(values, starts, lengths)
 
 
 def map_by_unique(values: np.ndarray, fn) -> np.ndarray:

@@ -74,6 +74,13 @@ def campaign_main(argv: List[str] | None = None) -> int:
              "(default: uniform zipf nearly_sorted duplicates staggered)",
     )
     parser.add_argument(
+        "--backend", default=None,
+        help="kernel backend for every cell ('numpy', 'sharedmem', "
+             "'sharedmem:N'); exported as REPRO_BACKEND so worker processes "
+             "inherit it.  Backends are byte-identical, so cached cell "
+             "summaries stay valid across backends",
+    )
+    parser.add_argument(
         "--cache-dir", type=Path, default=None,
         help="cell summary cache directory (default: .campaign-cache/<profile>)",
     )
@@ -101,6 +108,14 @@ def campaign_main(argv: List[str] | None = None) -> int:
             "--require-cached cannot succeed with --no-cache/--no-resume: "
             "every cell would execute"
         )
+
+    if args.backend is not None:
+        import os
+
+        from repro.dist.backend import install
+
+        install(args.backend)  # validates the spec and switches this process
+        os.environ["REPRO_BACKEND"] = args.backend  # worker processes inherit
 
     cache_dir = args.cache_dir
     if cache_dir is None and not args.no_cache:
@@ -175,7 +190,17 @@ def main(argv: List[str] | None = None) -> int:
         choices=sorted(WORKLOADS),
         help="input distribution fed to every experiment (default: uniform)",
     )
+    parser.add_argument(
+        "--backend", default=None,
+        help="kernel backend ('numpy', 'sharedmem', 'sharedmem:N'); "
+             "byte-identical, affects wall-clock only",
+    )
     args = parser.parse_args(argv)
+
+    if args.backend is not None:
+        from repro.dist.backend import install
+
+        install(args.backend)
 
     names = list(args.experiments)
     if "all" in names:

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.dist.flatops import concat_ranges, stable_two_key_argsort
+from repro.dist.flatops import concat_ranges, stable_two_key_argsort, take_ranges
 
 
 Message = Tuple[int, np.ndarray]
@@ -410,7 +410,7 @@ def execute_exchange_flat(
         order = stable_two_key_argsort(msgs.dest, msgs.src, p, p)
         recv_src = msgs.src[order]
         recv_lengths = msgs.length[order]
-        recv_values = msgs.payload[concat_ranges(msgs.start[order], recv_lengths)]
+        recv_values = take_ranges(msgs.payload, msgs.start[order], recv_lengths)
         recv_offsets = np.zeros(p + 1, dtype=np.int64)
         np.cumsum(words_received, out=recv_offsets[1:])
 

@@ -70,6 +70,14 @@ class SimulatedMachine:
         Seed for the machine's replicated random generator (used for
         decisions that the paper makes identically on all PEs, e.g. the
         shared random pivot in multisequence selection).
+    backend:
+        Default kernel backend for runs on this machine — a
+        :class:`~repro.dist.backend.base.KernelBackend` instance or spec
+        string (``'numpy'``, ``'sharedmem'``, ``'sharedmem:4'``).  ``None``
+        defers to the process default (``REPRO_BACKEND`` env var, else
+        numpy).  Backends only change the host wall-clock of the
+        *simulation*; modelled clocks, counters and outputs are
+        byte-identical across all of them.
     """
 
     def __init__(
@@ -78,6 +86,7 @@ class SimulatedMachine:
         spec: Optional[MachineSpec] = None,
         topology: Optional[Topology] = None,
         seed: int = 0,
+        backend: "object | str | None" = None,
     ):
         if p <= 0:
             raise ValueError(f"need at least one PE, got p={p}")
@@ -109,6 +118,11 @@ class SimulatedMachine:
         self._sample_rng = CounterRNG(self.seed)
         self.wall_profile: Optional[dict] = None
         self._wall_mark: Optional[float] = None
+        #: Default kernel backend (spec or instance) for runs on this machine.
+        self.backend = backend
+        #: Name of the backend the most recent ``run_on_machine`` executed
+        #: with — what the wall-profile attribution tooling reports.
+        self.backend_used: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Random number generation
