@@ -120,6 +120,13 @@ def main(argv=None) -> int:
     if args.repeat < 1:
         parser.error("--repeat must be at least 1")
 
+    # Resolve the backend to an instance up front so its per-kernel dispatch
+    # counters (SharedMemBackend.stats()) can be read back after the runs —
+    # get_backend caches named specs, so every run shares this instance.
+    from repro.dist.backend import get_backend
+
+    backend_obj = get_backend(args.backend)
+
     profiler = cProfile.Profile() if args.cprofile else None
     walls, phase_walls = [], []
     result = None
@@ -129,7 +136,7 @@ def main(argv=None) -> int:
         wall_i, phase_i, result, machine = profile_run(
             args.p, n_per_pe=args.n_per_pe, levels=args.levels,
             algorithm=args.algorithm, seed=args.seed, engine=args.engine,
-            backend=args.backend,
+            backend=backend_obj,
         )
         if profiler is not None and rep == 0:
             profiler.disable()
@@ -164,6 +171,9 @@ def main(argv=None) -> int:
             "wall_s": wall,
             "phase_wall_s": phase_wall,
             "modelled_time_s": result.total_time,
+            # Per-kernel sharded/inline dispatch counts, accumulated over
+            # all repeats ({} for stateless backends like numpy).
+            "backend_stats": backend_obj.stats(),
         }
         args.json.parent.mkdir(parents=True, exist_ok=True)
         with args.json.open("a") as fh:

@@ -62,6 +62,11 @@ class SortResult:
         Total number of elements sorted.
     params:
         Free-form parameter dictionary recorded by the caller.
+    faults:
+        Fault-injection summary (plan spec plus the
+        :class:`~repro.machine.counters.FaultCounters` tallies) when the
+        machine had an active :class:`~repro.sim.faults.FaultPlan`; empty
+        otherwise.
     """
 
     algorithm: str
@@ -73,6 +78,7 @@ class SortResult:
     p: int
     n_total: int
     params: Dict[str, object] = field(default_factory=dict)
+    faults: Dict[str, object] = field(default_factory=dict)
 
     @property
     def elements_per_pe(self) -> float:
@@ -106,9 +112,11 @@ class SortResult:
         This is the persistence boundary used by the campaign cache and the
         golden-trace regression tests: every value is a plain Python scalar
         (or a dict of them), so two identical runs serialize to byte-identical
-        JSON regardless of which process executed them.
+        JSON regardless of which process executed them.  The ``"faults"``
+        key appears only for fault-injected runs, keeping fault-free
+        summaries byte-identical to those of builds without the fault layer.
         """
-        return {
+        out: Dict[str, object] = {
             "algorithm": self.algorithm,
             "p": int(self.p),
             "n_total": int(self.n_total),
@@ -120,6 +128,9 @@ class SortResult:
             "traffic": {str(k): int(v) for k, v in sorted(self.traffic.items())},
             "params": jsonify(self.params),
         }
+        if self.faults:
+            out["faults"] = jsonify(self.faults)
+        return out
 
 
 def jsonify(obj: object) -> object:
@@ -260,6 +271,7 @@ def run_on_machine(
         p=machine.p,
         n_total=n_total,
         params=params,
+        faults=machine.faults.summary() if machine.faults is not None else {},
     )
 
 

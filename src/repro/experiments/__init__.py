@@ -9,7 +9,10 @@ Every module corresponds to one table or figure:
 * :mod:`repro.experiments.overpartitioning` — Figures 10 and 11 (effect of
   the oversampling / overpartitioning factors),
 * :mod:`repro.experiments.variance` — Figure 12 (distribution of wall-times),
-* :mod:`repro.experiments.comparison` — Section 7.3 (single-level baselines).
+* :mod:`repro.experiments.comparison` — Section 7.3 (single-level baselines),
+* :mod:`repro.experiments.faults` — degradation under injected faults
+  (stragglers, dropped/degraded exchange rounds; extends the Figure 12
+  robustness story beyond healthy machines).
 
 The paper's machine (up to 32768 MPI ranks with up to ``10^7`` elements
 each) does not fit into a pure-Python simulation, so every experiment runs a
@@ -28,6 +31,7 @@ from repro.experiments.harness import (
 )
 from repro.experiments import (
     campaign,
+    faults,
     level_table,
     weak_scaling,
     slowdown,
@@ -42,6 +46,7 @@ __all__ = [
     "scale_profile",
     "SCALE_PROFILES",
     "campaign",
+    "faults",
     "level_table",
     "weak_scaling",
     "slowdown",

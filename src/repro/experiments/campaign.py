@@ -65,6 +65,7 @@ CAMPAIGN_EXPERIMENTS = (
     "variance",
     "comparison",
     "level_table",
+    "faults",
 )
 
 #: Default workload axis: the paper's uniform input plus the adversarial
@@ -73,7 +74,15 @@ CAMPAIGN_EXPERIMENTS = (
 #: trimmed grid (smallest machine/input sizes) so every figure gains
 #: non-uniform rows without multiplying the campaign cost by the number of
 #: workloads.
-CAMPAIGN_WORKLOADS = ("uniform", "zipf", "nearly_sorted", "duplicates", "staggered")
+CAMPAIGN_WORKLOADS = (
+    "uniform",
+    "zipf",
+    "nearly_sorted",
+    "duplicates",
+    "staggered",
+    "all_equal",
+    "reverse",
+)
 
 _BASELINES = ("mergesort", "samplesort", "quicksort")
 
@@ -110,6 +119,8 @@ class CampaignCell:
     engine: str = "flat"
     validate: bool = True
     determinism_check: bool = False
+    #: Fault-injection spec string (see :mod:`repro.sim.faults`); "" = healthy.
+    faults: str = ""
     seed: int = 0
 
     def to_dict(self) -> Dict[str, object]:
@@ -150,6 +161,12 @@ def finalize_cell(cell: CampaignCell) -> CampaignCell:
     identity = cell.to_dict()
     for field in _EXECUTION_FIELDS:
         identity.pop(field)
+    # The fault spec never enters the seed: healthy cells keep their
+    # pre-fault-layer identity (and golden traces), and every rung of a
+    # fault ladder sorts the *same* input with the *same* sampling streams —
+    # a controlled degradation comparison, not a different experiment.  The
+    # spec remains part of the cache key (cell_key hashes the full spec).
+    identity.pop("faults", None)
     return replace(cell, seed=derive_cell_seed(identity))
 
 
@@ -163,7 +180,10 @@ def cell_key(cell: CampaignCell) -> str:
 # Cell execution
 # ----------------------------------------------------------------------
 def _run_sort_cell(cell: CampaignCell) -> Dict[str, object]:
-    machine = SimulatedMachine(cell.p, spec=spec_by_name(cell.machine), seed=cell.seed)
+    machine = SimulatedMachine(
+        cell.p, spec=spec_by_name(cell.machine), seed=cell.seed,
+        faults=cell.faults or None,
+    )
     local_data = per_pe_workload(cell.workload, cell.p, cell.n_per_pe, seed=cell.seed + 1)
     config = build_algo_config(
         cell.algorithm,
@@ -424,6 +444,44 @@ def _expand_level_table(profile, workload, primary) -> List[CampaignCell]:
     ]
 
 
+def _expand_faults(profile, workload, primary) -> List[CampaignCell]:
+    """Degradation grid: each algorithm climbs a ladder of fault specs.
+
+    The healthy spec (``""``) is always present — it is the slowdown
+    baseline — and the remaining rungs come from the profile's
+    ``fault_specs`` override (the campaign CLI's ``--faults``) or the
+    default ladders of :mod:`repro.experiments.faults`.
+    """
+    from repro.experiments.faults import DEFAULT_FAULT_SPECS, TRIMMED_FAULT_SPECS
+
+    ps = tuple(profile["p_values"])
+    n_per_pe = int(tuple(profile["n_per_pe_values"])[0])
+    node_size = int(profile["node_size"])
+    if primary:
+        p = int(ps[min(1, len(ps) - 1)])
+        algorithms = ("ams", "rlm", "samplesort")
+        specs = tuple(profile.get("fault_specs", DEFAULT_FAULT_SPECS))
+        reps = min(2, int(profile["repetitions"]))
+    else:
+        p = int(ps[0])
+        algorithms = ("ams", "rlm")
+        specs = tuple(profile.get("fault_specs", TRIMMED_FAULT_SPECS))
+        reps = 1
+    if "" not in specs:
+        specs = ("",) + specs
+    cells = []
+    for algorithm in algorithms:
+        levels = 2 if (algorithm in ("ams", "rlm") and p > node_size) else 1
+        for spec in specs:
+            for rep in range(max(1, reps)):
+                cells.append(CampaignCell(
+                    experiment="faults", algorithm=algorithm, p=p,
+                    n_per_pe=n_per_pe, levels=levels, workload=workload,
+                    node_size=node_size, repetition=rep, faults=spec,
+                ))
+    return cells
+
+
 _EXPANDERS: Dict[str, Callable[..., List[CampaignCell]]] = {
     "weak_scaling": _expand_weak_scaling,
     "slowdown": _expand_slowdown,
@@ -431,6 +489,7 @@ _EXPANDERS: Dict[str, Callable[..., List[CampaignCell]]] = {
     "variance": _expand_variance,
     "comparison": _expand_comparison,
     "level_table": _expand_level_table,
+    "faults": _expand_faults,
 }
 
 
@@ -718,6 +777,51 @@ def _aggregate_level_table(pairs) -> Dict[str, List[Dict[str, object]]]:
     return {"rows": rows}
 
 
+def _aggregate_faults(pairs) -> Dict[str, List[Dict[str, object]]]:
+    groups = _grouped(pairs)
+    clean: Dict[tuple, float] = {}
+    for group, members in groups.items():
+        if group.faults == "":
+            times = [float(s["total_time_s"]) for _, s in members]
+            clean[(group.workload, group.algorithm, group.p, group.n_per_pe)] = (
+                float(summarize_runs(times)["median"])
+            )
+    rows = []
+    for group, members in groups.items():
+        times = [float(s["total_time_s"]) for _, s in members]
+        stats = summarize_runs(times)
+        fault_totals: Dict[str, float] = {}
+        for _, summary in members:
+            for key, value in (summary.get("faults") or {}).items():
+                if isinstance(value, (int, float)):
+                    fault_totals[key] = fault_totals.get(key, 0.0) + value
+        base = clean.get((group.workload, group.algorithm, group.p, group.n_per_pe))
+        # None (JSON null) when no healthy baseline exists — never NaN,
+        # which would break golden-trace equality (NaN != NaN).
+        slowdown = float(stats["median"]) / base if base else None
+        rows.append(
+            {
+                "workload": group.workload,
+                "algorithm": group.algorithm,
+                "p": group.p,
+                "n_per_pe": group.n_per_pe,
+                "levels": group.levels,
+                "faults": group.faults,
+                "time_median_s": float(stats["median"]),
+                "slowdown_vs_clean": slowdown,
+                "imbalance": max(float(s["imbalance"]) for _, s in members),
+                "dropped_rounds": int(fault_totals.get("dropped_rounds", 0)),
+                "resent_words": int(fault_totals.get("resent_words", 0)),
+                "degraded_rounds": int(fault_totals.get("degraded_rounds", 0)),
+                "hiccup_events": int(fault_totals.get("hiccup_events", 0)),
+                "timeout_wait_s": float(fault_totals.get("timeout_wait_s", 0.0)),
+                "recovery_s": float(fault_totals.get("recovery_s", 0.0)),
+                "straggle_s": float(fault_totals.get("straggle_s", 0.0)),
+            }
+        )
+    return {"rows": rows}
+
+
 _AGGREGATORS = {
     "weak_scaling": _aggregate_weak_scaling,
     "slowdown": _aggregate_slowdown,
@@ -725,6 +829,7 @@ _AGGREGATORS = {
     "variance": _aggregate_variance,
     "comparison": _aggregate_comparison,
     "level_table": _aggregate_level_table,
+    "faults": _aggregate_faults,
 }
 
 
@@ -764,6 +869,7 @@ def run_campaign(
     cache_dir: "Path | str | None" = None,
     resume: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    fault_specs: Optional[Sequence[str]] = None,
 ) -> Tuple[Dict[str, object], Dict[str, int]]:
     """Expand, execute (sharded if ``jobs > 1``) and aggregate a campaign.
 
@@ -772,9 +878,13 @@ def run_campaign(
     cache statistics — so two runs of the same campaign serialize to
     byte-identical JSON regardless of ``jobs`` and of how much came from the
     cache.  The stats dict carries the run-dependent part: cells executed vs
-    served from cache.
+    served from cache.  ``fault_specs`` overrides the fault-spec ladder of
+    the ``"faults"`` experiment (the healthy ``""`` baseline is always
+    included).
     """
     name, prof = _resolve_profile(profile)
+    if fault_specs is not None:
+        prof["fault_specs"] = tuple(fault_specs)
     cells = expand_campaign(prof, experiments=experiments, workloads=workloads)
     cache = CellCache(cache_dir) if cache_dir is not None else None
     summaries, stats = execute_cells(
@@ -808,6 +918,7 @@ _SECTION_TITLES = {
     "variance": "Figure 12 — distribution of modelled wall-times",
     "comparison": "Section 7.3 — AMS-sort vs single-level baselines",
     "level_table": "Table 1 — group counts r per level",
+    "faults": "Fault degradation — slowdown and recovery cost vs fault rate",
 }
 
 

@@ -22,6 +22,7 @@ from typing import Callable, Dict, List
 from repro.experiments import (
     campaign as campaign_mod,
     comparison,
+    faults as faults_mod,
     level_table,
     overpartitioning,
     slowdown,
@@ -41,6 +42,9 @@ EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "fig11": lambda scale=None, workload="uniform": overpartitioning.run(scale=scale, workload=workload),
     "fig12": lambda scale=None, workload="uniform": variance.run(scale=scale, workload=workload),
     "sec73": lambda scale=None, workload="uniform": comparison.run(scale=scale, workload=workload),
+    "faults": lambda scale=None, workload="uniform", **kw: faults_mod.run(
+        scale=scale, workload=workload, **kw
+    ),
 }
 
 
@@ -100,8 +104,20 @@ def campaign_main(argv: List[str] | None = None) -> int:
         "--require-cached", action="store_true",
         help="fail if any cell had to execute (CI re-run assertion)",
     )
+    parser.add_argument(
+        "--faults", nargs="+", default=None, metavar="SPEC",
+        help="fault-spec ladder for the 'faults' experiment, e.g. "
+             "'stragglers:0.1' 'droprate:0.01' (the healthy '' baseline is "
+             "always included; see repro.sim.faults for the grammar)",
+    )
     parser.add_argument("--quiet", action="store_true", help="no per-cell progress")
     args = parser.parse_args(argv)
+
+    if args.faults is not None:
+        from repro.sim.faults import parse_fault_spec
+
+        for spec in args.faults:
+            parse_fault_spec(spec)  # fail fast on bad grammar
 
     if args.require_cached and (args.no_cache or args.no_resume):
         parser.error(
@@ -135,6 +151,7 @@ def campaign_main(argv: List[str] | None = None) -> int:
         cache_dir=None if args.no_cache else cache_dir,
         resume=not args.no_resume,
         progress=progress,
+        fault_specs=args.faults,
     )
 
     print(campaign_mod.format_campaign(summary))
@@ -195,6 +212,12 @@ def main(argv: List[str] | None = None) -> int:
         help="kernel backend ('numpy', 'sharedmem', 'sharedmem:N'); "
              "byte-identical, affects wall-clock only",
     )
+    parser.add_argument(
+        "--faults", nargs="+", default=None, metavar="SPEC",
+        help="fault-spec ladder for the 'faults' experiment, e.g. "
+             "'stragglers:0.1' 'droprate:0.01' (only valid when 'faults' is "
+             "the sole selected experiment)",
+    )
     args = parser.parse_args(argv)
 
     if args.backend is not None:
@@ -208,11 +231,26 @@ def main(argv: List[str] | None = None) -> int:
     seen = set()
     ordered = [n for n in names if not (n in seen or seen.add(n))]
 
+    extra_kwargs: Dict[str, Dict[str, object]] = {}
+    if args.faults is not None:
+        if ordered != ["faults"]:
+            parser.error("--faults is only valid with the 'faults' experiment alone")
+        from repro.sim.faults import parse_fault_spec
+
+        for spec in args.faults:
+            parse_fault_spec(spec)  # fail fast on bad grammar
+        specs = tuple(args.faults)
+        if "" not in specs:
+            specs = ("",) + specs  # the healthy slowdown baseline
+        extra_kwargs["faults"] = {"fault_specs": specs}
+
     for name in ordered:
         if name not in EXPERIMENTS:
             parser.error(f"unknown experiment {name!r}; known: {', '.join(sorted(EXPERIMENTS))}")
         print(f"=== {name} ===")
-        print(EXPERIMENTS[name](scale=args.scale, workload=args.workload))
+        print(EXPERIMENTS[name](
+            scale=args.scale, workload=args.workload, **extra_kwargs.get(name, {})
+        ))
         print()
     return 0
 

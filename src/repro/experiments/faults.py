@@ -1,0 +1,156 @@
+"""Degradation under injected faults: slowdown vs fault rate per algorithm.
+
+Extends the Figure 12 variance machinery from *healthy-machine* spread to
+*faulty-machine* degradation: for a ladder of fault specs (increasing drop
+rates, straggler mixes — see :mod:`repro.sim.faults`) each algorithm runs
+the same workload on the same machine seed, and the table reports the
+modelled slowdown relative to the fault-free baseline next to the recovery
+cost tallies (dropped rounds, re-sent words, timeout idle time, straggle
+time).  Because the retry draw is a truncated geometric in the drop rate
+with a shared uniform, recovery cost is *exactly* monotone in the drop rate
+for a fixed seed — which the golden trace pins and CI asserts.
+
+The multi-level algorithms pay for faults differently: AMS-sort's few large
+exchange rounds lose little to per-round timeouts but re-send big volumes,
+while RLM-sort's regular grid rounds hit more (cheaper) retries — the same
+startup-vs-volume trade-off the healthy-machine experiments measure,
+exposed by failure recovery instead of message startups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import summarize_runs
+from repro.analysis.tables import format_table
+from repro.experiments.harness import ExperimentRunner, RunConfig, scale_profile
+
+
+#: Default fault-spec ladder of the degradation experiment.  The empty spec
+#: is the healthy baseline every slowdown is computed against; the drop-rate
+#: rungs are spaced widely enough that recovery cost strictly increases even
+#: at tiny scale (few exchanges → few geometric draws).
+DEFAULT_FAULT_SPECS: Sequence[str] = (
+    "",
+    "droprate:0.05",
+    "droprate:0.2",
+    "droprate:0.4",
+    "stragglers:0.25",
+    "stragglers:0.25,droprate:0.2",
+)
+
+#: Trimmed ladder for secondary workloads in the campaign grid.  The bottom
+#: rung starts higher than the primary ladder's: the trimmed grid runs the
+#: smallest machine, whose few exchange rounds draw too few uniforms for a
+#: 5% drop rate to fire at all.
+TRIMMED_FAULT_SPECS: Sequence[str] = (
+    "",
+    "droprate:0.15",
+    "droprate:0.25",
+    "droprate:0.4",
+)
+
+
+def degradation_rows(
+    p: int,
+    n_per_pe: int,
+    algorithms: Sequence[str] = ("ams", "rlm", "samplesort"),
+    fault_specs: Sequence[str] = DEFAULT_FAULT_SPECS,
+    levels: int = 2,
+    node_size: int = 4,
+    repetitions: int = 2,
+    workload: str = "uniform",
+    runner: Optional[ExperimentRunner] = None,
+) -> List[Dict[str, object]]:
+    """One row per (algorithm, fault spec) with slowdown and recovery tallies.
+
+    The fault-free spec (``""``) should come first in ``fault_specs``; its
+    median time is the baseline of each algorithm's ``slowdown_vs_clean``
+    column (``None`` when an algorithm has no clean baseline in the ladder).
+    """
+    runner = runner or ExperimentRunner()
+    specs = list(fault_specs)
+    rows: List[Dict[str, object]] = []
+    for algorithm in algorithms:
+        algo_levels = levels if algorithm in ("ams", "rlm") else 1
+        clean_median: Optional[float] = None
+        for spec in specs:
+            cfg = RunConfig(
+                algorithm=algorithm,
+                p=p,
+                n_per_pe=n_per_pe,
+                levels=algo_levels,
+                node_size=node_size,
+                repetitions=repetitions,
+                workload=workload,
+                faults=spec,
+            )
+            results = [
+                runner.run_once(cfg, rep) for rep in range(max(1, repetitions))
+            ]
+            stats = summarize_runs([r.total_time for r in results])
+            fault_totals: Dict[str, float] = {}
+            for r in results:
+                for key, value in r.faults.items():
+                    if isinstance(value, (int, float)):
+                        fault_totals[key] = fault_totals.get(key, 0.0) + value
+            median = float(stats["median"])
+            if spec == "":
+                clean_median = median
+            slowdown = (
+                median / clean_median
+                if clean_median is not None and clean_median > 0
+                else None
+            )
+            rows.append(
+                {
+                    "algorithm": algorithm,
+                    "levels": algo_levels,
+                    "p": p,
+                    "n_per_pe": n_per_pe,
+                    "workload": workload,
+                    "faults": spec,
+                    "time_median_s": median,
+                    "slowdown_vs_clean": slowdown,
+                    "imbalance": float(
+                        max(r.imbalance for r in results)
+                    ),
+                    "dropped_rounds": int(fault_totals.get("dropped_rounds", 0)),
+                    "resent_words": int(fault_totals.get("resent_words", 0)),
+                    "degraded_rounds": int(fault_totals.get("degraded_rounds", 0)),
+                    "hiccup_events": int(fault_totals.get("hiccup_events", 0)),
+                    "timeout_wait_s": float(fault_totals.get("timeout_wait_s", 0.0)),
+                    "recovery_s": float(fault_totals.get("recovery_s", 0.0)),
+                    "straggle_s": float(fault_totals.get("straggle_s", 0.0)),
+                }
+            )
+    return rows
+
+
+def run(
+    scale: Optional[str] = None,
+    workload: str = "uniform",
+    fault_specs: Sequence[str] = DEFAULT_FAULT_SPECS,
+) -> str:
+    """Run the scaled degradation experiment and return the formatted table."""
+    profile = scale_profile(scale)
+    p_values = profile["p_values"]
+    rows = degradation_rows(
+        p=int(p_values[min(1, len(p_values) - 1)]),
+        n_per_pe=int(profile["n_per_pe_values"][0]),
+        node_size=int(profile["node_size"]),
+        repetitions=min(2, int(profile["repetitions"])),
+        workload=workload,
+        fault_specs=fault_specs,
+    )
+    return format_table(
+        rows,
+        title=(
+            "Fault degradation — modelled slowdown and recovery cost vs "
+            "injected fault rate"
+        ),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(run())

@@ -112,13 +112,16 @@ class RunConfig:
     oversampling: Optional[float] = None
     validate: bool = True
     engine: str = "flat"
+    #: Fault-injection spec string (see :mod:`repro.sim.faults`); empty = healthy.
+    faults: str = ""
 
     def label(self) -> str:
         """Short human readable identifier."""
-        return (
+        base = (
             f"{self.algorithm}-k{self.levels}-p{self.p}-n{self.n_per_pe}"
             f"-{self.workload}"
         )
+        return f"{base}-faults[{self.faults}]" if self.faults else base
 
 
 def build_algo_config(
@@ -183,7 +186,10 @@ class ExperimentRunner:
     def run_once(self, cfg: RunConfig, repetition: int = 0) -> SortResult:
         """Run one repetition of a configuration and return its result."""
         spec = cfg.spec if cfg.spec is not None else self.spec
-        machine = SimulatedMachine(cfg.p, spec=spec, seed=cfg.seed + repetition)
+        machine = SimulatedMachine(
+            cfg.p, spec=spec, seed=cfg.seed + repetition,
+            faults=cfg.faults or None,
+        )
         local_data = per_pe_workload(
             cfg.workload, cfg.p, cfg.n_per_pe, seed=cfg.seed + 1000 * repetition
         )

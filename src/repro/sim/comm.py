@@ -146,6 +146,12 @@ class Comm:
     # Internal collective cost charging
     # ------------------------------------------------------------------
     def _charge_collective(self, words: int, rounds_factor: float = 1.0) -> None:
+        # Fault semantics (see :mod:`repro.sim.faults`): collective and
+        # local charges pick up straggler/hiccup scaling inside
+        # ``advance_many``; only the irregular exchanges (``exchange`` /
+        # ``exchange_flat``) additionally run the timeout + retransmit
+        # retry protocol.  Barrier waits are never fault-scaled — idle
+        # time is idle regardless of the PE's speed.
         self.machine.synchronize(self.members)
         t = self.machine.cost.collective_time(
             self.size, words=max(int(words), 0), level=self.level,

@@ -249,6 +249,14 @@ def execute_exchange(
     times = alpha * r_per_pe + beta * h_per_pe
     if charge_copy:
         times = times + machine.spec.move_ns * 1e-9 * (words_sent + words_received)
+    # Dropped / degraded rounds: keyed by each member's exchange counter
+    # *before* this exchange is recorded, so both engines draw identically.
+    faults = machine.faults
+    if faults is not None:
+        times = times + faults.exchange_extra(
+            comm.members, machine.counters.exchange_ops[comm.members],
+            h_per_pe, r_per_pe, alpha, beta,
+        )
     machine.advance_many(comm.members, times)
     machine.synchronize(comm.members)
     machine.counters.record_exchange(comm.members)
@@ -394,6 +402,14 @@ def execute_exchange_flat(
     times = alpha * r_per_pe + beta * h_per_pe
     if charge_copy:
         times = times + machine.spec.move_ns * 1e-9 * (words_sent + words_received)
+    # Same drop/degrade draws as execute_exchange: the per-PE exchange
+    # counter key makes the flat batch byte-identical to the per-PE path.
+    faults = machine.faults
+    if faults is not None:
+        times = times + faults.exchange_extra(
+            comm.members, machine.counters.exchange_ops[comm.members],
+            h_per_pe, r_per_pe, alpha, beta,
+        )
     machine.advance_many(comm.members, times)
     machine.synchronize(comm.members)
     machine.counters.record_exchange(comm.members)

@@ -188,6 +188,15 @@ class GroupBatch:
         times = alpha * r_per_pe + beta * h_per_pe
         if charge_copy:
             times = times + machine.spec.move_ns * 1e-9 * (words_sent + words_received)
+        # Drop/degrade draws keyed by the pre-record exchange counters —
+        # identical to the execute_exchange hook, so a batched all-levels
+        # exchange draws the same faults as its group-by-group reference.
+        faults = machine.faults
+        if faults is not None:
+            times = times + faults.exchange_extra(
+                self.members, machine.counters.exchange_ops[self.members],
+                h_per_pe, r_per_pe, alpha, beta,
+            )
         machine.advance_many(self.members, times)
         self.synchronize()
         machine.counters.record_exchange(self.members)

@@ -78,6 +78,14 @@ class SimulatedMachine:
         numpy).  Backends only change the host wall-clock of the
         *simulation*; modelled clocks, counters and outputs are
         byte-identical across all of them.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultPlan` (or spec string like
+        ``"stragglers:0.1,droprate:0.01"``) injecting deterministic
+        stragglers, degraded/dropped exchange rounds and hiccups into the
+        modelled clocks.  ``None`` — or a plan that injects nothing — leaves
+        the machine byte-identical to today's fault-free behaviour.  Fault
+        draws use their own salted counter streams, so sorted outputs and
+        the sampling paths are unaffected.
     """
 
     def __init__(
@@ -87,6 +95,7 @@ class SimulatedMachine:
         topology: Optional[Topology] = None,
         seed: int = 0,
         backend: "object | str | None" = None,
+        faults: "object | str | None" = None,
     ):
         if p <= 0:
             raise ValueError(f"need at least one PE, got p={p}")
@@ -123,6 +132,17 @@ class SimulatedMachine:
         #: Name of the backend the most recent ``run_on_machine`` executed
         #: with — what the wall-profile attribution tooling reports.
         self.backend_used: Optional[str] = None
+        from repro.sim.faults import FaultState, parse_fault_spec
+
+        #: The attached :class:`~repro.sim.faults.FaultPlan` (or ``None``).
+        self.fault_plan = parse_fault_spec(faults)
+        #: Runtime fault state; ``None`` unless the plan injects something,
+        #: so the fault-free hot paths stay a single attribute check.
+        self.faults = (
+            FaultState(self.fault_plan, self.p)
+            if self.fault_plan is not None and self.fault_plan.enabled
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Random number generation
@@ -180,16 +200,22 @@ class SimulatedMachine:
     # Clock management
     # ------------------------------------------------------------------
     def advance(self, pe: int, seconds: float) -> None:
-        """Advance PE ``pe``'s clock by ``seconds`` attributing it to the current phase."""
+        """Advance PE ``pe``'s clock by ``seconds`` attributing it to the current phase.
+
+        With an active fault plan the charge is scaled by the PE's slowdown,
+        straggler windows and hiccups first (see :mod:`repro.sim.faults`).
+        """
         if seconds < 0:
             raise ValueError(f"cannot advance clock by negative time {seconds}")
         if seconds == 0.0:
             return
+        if self.faults is not None:
+            seconds = self.faults.scale_scalar(pe, float(self.clock[pe]), seconds)
         self.clock[pe] += seconds
         self.breakdown.add(self.current_phase, pe, seconds)
 
     def advance_many(self, pes: Sequence[int], seconds: Sequence[float] | float) -> None:
-        """Advance several PE clocks at once."""
+        """Advance several PE clocks at once (fault-scaled like :meth:`advance`)."""
         idx = np.asarray(list(pes), dtype=np.int64)
         if np.isscalar(seconds):
             dts = np.full(idx.shape, float(seconds))
@@ -199,6 +225,8 @@ class SimulatedMachine:
                 raise ValueError("pes and seconds must have the same length")
         if (dts < 0).any():
             raise ValueError("cannot advance clock by negative time")
+        if self.faults is not None:
+            dts = self.faults.scale(idx, self.clock[idx], dts)
         self.clock[idx] += dts
         vec = np.zeros(self.p, dtype=np.float64)
         np.add.at(vec, idx, dts)
@@ -247,6 +275,8 @@ class SimulatedMachine:
         self.current_phase = PHASE_OTHER
         self.rng = np.random.default_rng(self.seed)
         self._pe_rngs.clear()
+        if self.faults is not None:
+            self.faults.reset()
         if self.wall_profile is not None:
             self.wall_profile.clear()  # in place: callers hold the reference
             self._wall_mark = None

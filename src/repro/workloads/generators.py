@@ -87,6 +87,45 @@ def staggered_keys(n: int, rng: np.random.Generator, buckets: int = 16) -> np.nd
     return ((block_id % 2) * (n // 2) + (block_id // 2) * block + within).astype(np.int64)
 
 
+def splitter_aliasing_keys(
+    n: int, rng: np.random.Generator, runs: int = 32
+) -> np.ndarray:
+    """Long runs of identical keys sitting exactly on uniform quantiles.
+
+    ``runs`` equal-length runs of one repeated key each, with the run values
+    spread evenly over the key space — so every expected splitter position of
+    a uniform-quantile partition lands *inside* a run of duplicates.  Any
+    splitter-based algorithm that cannot break ties (the paper's implicit
+    tie-breaking by PE rank, Section 5) would put an entire run on one side
+    and blow its imbalance bound; with tie-breaking the bound must hold.
+    Deterministic: ``rng`` is unused (kept for the generator signature).
+    """
+    if n <= 0:
+        return np.empty(0, dtype=np.int64)
+    runs = max(1, min(int(runs), n))
+    idx = np.arange(n, dtype=np.int64)
+    run_id = (idx * runs) // n  # run boundaries at the exact n/runs quantiles
+    return run_id * (2**62 // runs)
+
+
+def tiny_pieces_keys(
+    n: int, rng: np.random.Generator, p: int = 8, r: int = 8
+) -> np.ndarray:
+    """Single-stream view of :func:`tiny_pieces_worst_case`.
+
+    Concatenates the per-PE adversarial pieces of a ``p``-sender, ``r``-group
+    worst case and resizes to exactly ``n`` keys, so the distribution is
+    usable through the generic :func:`generate_workload` interface (each PE
+    of the simulated machine then holds a slice of the concatenation, which
+    preserves the tiny/huge piece mixture).
+    """
+    if n <= 0:
+        return np.empty(0, dtype=np.int64)
+    seed = int(rng.integers(0, 2**31))
+    pieces = tiny_pieces_worst_case(p, r, max(1, -(-n // p)), seed=seed)
+    return np.resize(np.concatenate(pieces), n)
+
+
 WORKLOADS: Dict[str, Callable[..., np.ndarray]] = {
     "uniform": uniform_keys,
     "gaussian": gaussian_keys,
@@ -96,6 +135,8 @@ WORKLOADS: Dict[str, Callable[..., np.ndarray]] = {
     "duplicates": duplicate_heavy_keys,
     "all_equal": all_equal_keys,
     "staggered": staggered_keys,
+    "splitter_aliasing": splitter_aliasing_keys,
+    "tiny_pieces": tiny_pieces_keys,
 }
 
 
@@ -105,7 +146,10 @@ def generate_workload(
     """Generate ``n`` keys of the named distribution.
 
     ``rng`` may be a seed or an existing :class:`numpy.random.Generator`.
+    Extra keyword arguments are forwarded to the generator function.
     """
+    if n < 0:
+        raise ValueError(f"workload size must be non-negative, got n={n}")
     if isinstance(rng, (int, np.integer)):
         rng = np.random.default_rng(int(rng))
     try:
@@ -116,12 +160,41 @@ def generate_workload(
     return factory(n, rng, **kwargs)
 
 
+def _tiny_pieces_per_pe(
+    p: int, n_per_pe: int, seed: int = 0, r: int | None = None
+) -> List[np.ndarray]:
+    if r is None:
+        r = max(2, min(8, p))
+    return tiny_pieces_worst_case(p, r, n_per_pe, seed=seed)
+
+
+#: Distributions with a *native* per-PE construction: the adversarial
+#: pattern lives in how pieces are laid out across PEs, not in any single
+#: PE's local distribution.  :func:`per_pe_workload` dispatches here first.
+PER_PE_WORKLOADS: Dict[str, Callable[..., List[np.ndarray]]] = {
+    "tiny_pieces": _tiny_pieces_per_pe,
+}
+
+
 def per_pe_workload(
     name: str, p: int, n_per_pe: int, seed: int = 0, **kwargs
 ) -> List[np.ndarray]:
-    """Generate one local input array per PE (independent streams per PE)."""
+    """Generate one local input array per PE (independent streams per PE).
+
+    Workloads in :data:`PER_PE_WORKLOADS` build the whole machine's input at
+    once (their adversarial structure spans PEs); all others draw each PE's
+    keys from an independent seeded stream.  Extra keyword arguments are
+    forwarded to the generator either way.
+    """
     if p <= 0:
         raise ValueError("p must be positive")
+    if n_per_pe < 0:
+        raise ValueError(
+            f"workload size must be non-negative, got n_per_pe={n_per_pe}"
+        )
+    per_pe_factory = PER_PE_WORKLOADS.get(name)
+    if per_pe_factory is not None:
+        return per_pe_factory(p, n_per_pe, seed=seed, **kwargs)
     out: List[np.ndarray] = []
     for i in range(p):
         rng = np.random.default_rng((seed + 1) * 99991 + i)

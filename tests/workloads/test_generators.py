@@ -4,9 +4,11 @@ import numpy as np
 import pytest
 
 from repro.workloads.generators import (
+    PER_PE_WORKLOADS,
     WORKLOADS,
     generate_workload,
     per_pe_workload,
+    splitter_aliasing_keys,
     tiny_pieces_worst_case,
 )
 
@@ -62,6 +64,33 @@ class TestGenerateWorkload:
         keys = generate_workload("staggered", 64, rng=0, buckets=4)
         assert keys.size == 64
 
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            generate_workload("uniform", -1)
+
+    def test_kwargs_forwarded(self):
+        keys = generate_workload("splitter_aliasing", 128, rng=0, runs=4)
+        assert np.unique(keys).size == 4
+
+
+class TestSplitterAliasing:
+    def test_runs_sit_on_exact_quantiles(self):
+        n, runs = 320, 8
+        keys = splitter_aliasing_keys(n, np.random.default_rng(0), runs=runs)
+        values, counts = np.unique(keys, return_counts=True)
+        assert values.size == runs
+        assert np.all(counts == n // runs)  # every expected splitter lands in a run
+        assert np.all(np.diff(keys) >= 0)  # already sorted: pure aliasing stress
+
+    def test_deterministic(self):
+        a = splitter_aliasing_keys(100, np.random.default_rng(0))
+        b = splitter_aliasing_keys(100, np.random.default_rng(99))
+        assert np.array_equal(a, b)
+
+    def test_more_runs_than_keys(self):
+        keys = splitter_aliasing_keys(5, np.random.default_rng(0), runs=100)
+        assert keys.size == 5
+
 
 class TestPerPEWorkload:
     def test_shapes(self):
@@ -77,6 +106,25 @@ class TestPerPEWorkload:
         with pytest.raises(ValueError):
             per_pe_workload("uniform", 0, 10)
 
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            per_pe_workload("uniform", 4, -5)
+
+    def test_kwargs_forwarded(self):
+        data = per_pe_workload("duplicates", 3, 200, seed=1, distinct=4)
+        assert all(np.unique(d).size <= 4 for d in data)
+
+    def test_tiny_pieces_dispatches_to_native_per_pe(self):
+        assert "tiny_pieces" in PER_PE_WORKLOADS
+        data = per_pe_workload("tiny_pieces", 16, 500, seed=0)
+        sizes = np.array([d.size for d in data])
+        assert sizes.max() == 500  # heavy PEs keep the full contribution
+        assert sizes.min() < 100  # tiny PEs hold only slivers
+
+    def test_tiny_pieces_r_forwarded(self):
+        data = per_pe_workload("tiny_pieces", 16, 500, seed=0, r=2)
+        assert len(data) == 16
+
 
 class TestTinyPiecesWorstCase:
     def test_heavy_and_tiny_pes_exist(self):
@@ -88,3 +136,8 @@ class TestTinyPiecesWorstCase:
     def test_invalid(self):
         with pytest.raises(ValueError):
             tiny_pieces_worst_case(0, 2, 10)
+
+    def test_named_workload_entry(self):
+        # Promoted to WORKLOADS: the single-stream view must honour n exactly.
+        keys = generate_workload("tiny_pieces", 333, rng=0)
+        assert keys.size == 333
