@@ -15,6 +15,9 @@ benchmark, on AMS-sort with ``n/p = 1000``:
   **seeded determinism** instead: the flat engine runs twice with the same
   seed and must reproduce identical outputs and makespan,
 * reports the wall-clock speedup (the acceptance bar is >= 5x at p=1024),
+* records the process peak RSS per row (``peak_rss_mb``, a lifetime
+  high-water mark — see :func:`_peak_rss_mb`; ``--rss-budget`` turns it
+  into a hard memory assert for CI),
 * archives the measurements as JSON (``BENCH_engine.json``).
 
 Standalone usage (used by the CI perf smoke job)::
@@ -38,6 +41,11 @@ import sys
 import time
 from pathlib import Path
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None
+
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))
@@ -56,6 +64,20 @@ def _levels_for(p: int) -> int:
     """Recursion depth per machine size: the paper's Table 1 uses three
     levels for its largest (2^15 PE) configuration and two below that."""
     return 3 if p > 4096 else LEVELS
+
+
+def _peak_rss_mb():
+    """Process high-water RSS in MB (``ru_maxrss`` is KB on Linux).
+
+    This is a *lifetime* high-water mark, so within one bench process the
+    values are monotone non-decreasing across rows: a row's figure is the
+    peak of everything run so far, dominated by the largest ``p`` yet.  The
+    CI memory assert runs a single row per process, where the number is
+    exactly that configuration's peak.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX
+        return None
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
 def _cores() -> int:
@@ -161,6 +183,7 @@ def run_comparison(
                 "backend_spec": backend if backend is not None else "default",
                 "cores": cores,
                 "wall_flat_s": wall_flat,
+                "peak_rss_mb": _peak_rss_mb(),
                 "modelled_time_s": res_flat.total_time,
                 "imbalance": res_flat.imbalance,
                 "max_startups": res_flat.traffic.get("max_startups_per_pe", 0),
@@ -244,6 +267,8 @@ def run_comparison(
                 )
             elif row.get("determinism_check"):
                 msg += "  deterministic=yes"
+            if row["peak_rss_mb"] is not None:
+                msg += f"  rss={row['peak_rss_mb']:.0f}MB"
             msg += f"  modelled={row['modelled_time_s']:.5f}s"
             if profile and phase_wall is not None:
                 top = sorted(phase_wall.items(), key=lambda kv: -kv[1])[:3]
@@ -299,6 +324,9 @@ def main(argv=None) -> int:
     parser.add_argument("--budget", type=float, default=None,
                         help="fail if any flat run exceeds this wall-clock "
                              "budget in seconds")
+    parser.add_argument("--rss-budget", type=float, default=None,
+                        help="fail if the process peak RSS exceeds this "
+                             "budget in MB (ru_maxrss high-water)")
     args = parser.parse_args(argv)
 
     rows = run_comparison(
@@ -324,6 +352,22 @@ def main(argv=None) -> int:
             )
             return 1
         print(f"wall-clock budget check passed (<= {args.budget:.0f}s)")
+
+    if args.rss_budget is not None:
+        peak = _peak_rss_mb()
+        if peak is None:
+            print("ru_maxrss unavailable; cannot check RSS budget",
+                  file=sys.stderr)
+            return 2
+        if peak > args.rss_budget:
+            print(
+                f"FAIL: peak RSS {peak:.0f}MB exceeds budget "
+                f"{args.rss_budget:.0f}MB",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"peak-RSS budget check passed: {peak:.0f}MB "
+              f"<= {args.rss_budget:.0f}MB")
 
     if args.require_speedup is not None:
         compared = [r for r in rows if "speedup" in r]

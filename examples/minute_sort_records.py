@@ -22,7 +22,13 @@ Run with::
 import numpy as np
 
 from repro import AMSConfig, SimulatedMachine, run_on_machine
-from repro.workloads.records import generate_records, record_keys, split_records
+from repro.workloads.records import (
+    generate_records,
+    key_to_bytes,
+    pack_key_bytes,
+    record_keys,
+    split_records,
+)
 
 
 def main() -> None:
@@ -60,8 +66,17 @@ def main() -> None:
     # full record sort would ship; here done centrally for verification).
     all_keys = record_keys(records)
     sorted_records = records[np.argsort(all_keys, kind="stable")]
-    assert np.array_equal(np.sort(sorted_records["key"])[:5], np.sort(records["key"])[:5])
-    print("record payloads permuted into key order and verified")
+    # numpy sorts and compares S fields over the full padded buffer, so the
+    # multiset check below is NUL-safe as long as it stays inside numpy —
+    # only *Python-level* element access strips trailing NULs (use
+    # key_to_bytes for lossless extraction).  Check all keys, not a prefix.
+    assert np.array_equal(np.sort(sorted_records["key"]), np.sort(records["key"]))
+    # And the permuted records really are ordered by what was sorted — the
+    # packed 8-byte prefix (NUL bytes included; key_to_bytes shows them):
+    packed = pack_key_bytes(sorted_records["key"])
+    assert np.all(packed[1:] >= packed[:-1])
+    assert key_to_bytes(sorted_records["key"]).shape == (n_records, 10)
+    print("record payloads permuted into key order and verified (NUL-safe)")
 
     ams_t = results["AMS-sort (2 levels)"].total_time
     single_t = results["single-level sample sort"].total_time

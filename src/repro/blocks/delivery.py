@@ -55,6 +55,7 @@ from repro.dist.flatops import (
     stable_two_key_argsort,
     take_ranges,
 )
+from repro.dist.workspace import get_arena
 from repro.machine.counters import PHASE_DATA_DELIVERY
 from repro.sim.exchange import ExchangeResult, FlatExchangeResult, FlatMessages
 
@@ -786,20 +787,28 @@ def _flat_assign_deterministic_batched(
     nb = l_cnt + 1
     nb_off = np.zeros(n_lp + 1, dtype=np.int64)
     np.cumsum(nb, out=nb_off[1:])
-    m1 = np.empty(int(nb_off[-1]), dtype=np.int64)
-    m1[concat_ranges(nb_off[:-1], l_cnt)] = dense[l_pair] * key + lexcl
+    # The candidate-point planes (m1, the merged pts buffer and its scatter
+    # index) are piece-scale scratch, dead once the unique points are
+    # extracted — all workspace checkouts.
+    ws = get_arena()
+    m1 = ws.empty(int(nb_off[-1]), np.int64)
+    idx = concat_ranges(nb_off[:-1], l_cnt, arena=ws)
+    m1[idx] = dense[l_pair] * key + lexcl
+    ws.recycle(idx)
     m1[nb_off[1:] - 1] = dense[lp] * key + large_total[lp]
     ck = rp_pair[cut_keep] * key + rexcl[cut_keep]
     cpos = np.searchsorted(m1, ck, side="left") + \
         np.arange(ck.size, dtype=np.int64)
-    pts = np.empty(m1.size + ck.size, dtype=np.int64)
-    keep_m = np.ones(pts.size, dtype=bool)
+    pts_buf = ws.empty(m1.size + ck.size, np.int64)
+    keep_m = np.ones(pts_buf.size, dtype=bool)
     keep_m[cpos] = False
-    pts[cpos] = ck
-    pts[keep_m] = m1
-    uniq = np.ones(pts.size, dtype=bool)
-    uniq[1:] = pts[1:] != pts[:-1]
-    pts = pts[uniq]
+    pts_buf[cpos] = ck
+    pts_buf[keep_m] = m1
+    ws.recycle(m1)
+    uniq = np.ones(pts_buf.size, dtype=bool)
+    uniq[1:] = pts_buf[1:] != pts_buf[:-1]
+    pts = pts_buf[uniq]
+    ws.recycle(pts_buf)
     pt_pair = pts >> np.int64(bits)
     pt_val = pts & (key - 1)
     # Intervals: consecutive unique points of the same pair.
@@ -1245,10 +1254,12 @@ def deliver_to_groups_batched(
         )
         if eligible.any():
             el = np.flatnonzero(eligible)
-            idx = concat_ranges(piece_off[el], piece_cnt[el])
+            ws = get_arena()
+            idx_full = concat_ranges(piece_off[el], piece_cnt[el], arena=ws)
             isl_of_piece = np.repeat(el, piece_cnt[el])
-            nz = flat_sizes[idx] > 0
-            idx = idx[nz]
+            nz = flat_sizes[idx_full] > 0
+            idx = idx_full[nz]
+            ws.recycle(idx_full)
             isl_of_piece = isl_of_piece[nz]
             local_idx = idx - piece_off[isl_of_piece]
             parts.append(np.stack([

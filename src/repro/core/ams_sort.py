@@ -65,11 +65,13 @@ from repro.dist.flatops import (
     gather,
     map_by_unique,
     map_by_unique2,
+    repeat_add,
     segmented_sort_values,
     stable_key_argsort,
     stable_two_key_argsort,
     take_ranges,
 )
+from repro.dist.workspace import get_arena
 from repro.machine.counters import (
     PHASE_BUCKET_PROCESSING,
     PHASE_DATA_DELIVERY,
@@ -308,20 +310,25 @@ def _level_result(
         new_sizes[batch_ranks] = received.sizes()
         new_offsets = np.zeros(new_sizes.size + 1, dtype=np.int64)
         np.cumsum(new_sizes, out=new_offsets[1:])
+        # ``new_values`` escapes as the level's DistArray; the two scatter
+        # index planes are dead right after use and come from the arena.
+        ws = get_arena()
         new_values = np.empty(int(new_offsets[-1]), dtype=received.dtype)
-        new_values[
-            concat_ranges(new_offsets[batch_ranks], received.sizes())
-        ] = received.values
+        idx = concat_ranges(new_offsets[batch_ranks], received.sizes(), arena=ws)
+        new_values[idx] = received.values
+        ws.recycle(idx)
         passive = np.setdiff1d(
             np.arange(num_isl, dtype=np.int64), active, assume_unique=True
         )
         passive_ranks = isl_offsets[passive]
         old_sizes = np.diff(dist.offsets)
-        new_values[
-            concat_ranges(new_offsets[passive_ranks], old_sizes[passive_ranks])
-        ] = take_ranges(
+        idx = concat_ranges(
+            new_offsets[passive_ranks], old_sizes[passive_ranks], arena=ws
+        )
+        new_values[idx] = take_ranges(
             dist.values, dist.offsets[passive_ranks], old_sizes[passive_ranks]
         )
+        ws.recycle(idx)
         new_dist = DistArray(new_values, new_offsets)
 
     # Next-level island offsets: active islands contribute their sub-group
@@ -673,14 +680,15 @@ def _ams_level_batched(
         # Global bucket sizes per island: the per-(group, PE) reduction.
         # The bucket indices come straight out of the bounded searchsorted,
         # so the ragged reduction can skip its range validation passes.
+        ws = get_arena()
         if n_act == 1:
             isl_bucket_key = bucket_of
             gbs_flat = bincount(
                 bucket_of, minlength=int(nb_off[-1])
             ).astype(np.int64, copy=False)
         else:
-            isl_bucket_key = (
-                np.repeat(nb_off[:-1], np.diff(elem_off)) + bucket_of
+            isl_bucket_key = repeat_add(
+                nb_off[:-1], np.diff(elem_off), bucket_of, ws
             )
             gbs_flat = bincount(
                 isl_bucket_key, minlength=int(nb_off[-1])
@@ -711,7 +719,9 @@ def _ams_level_batched(
         # Group indices fit 32 bits at any simulable scale; the narrow
         # dtype halves the bandwidth of every element-scale key pass below.
         lut = lut.astype(np.int32, copy=False)
-        dest_local = lut[isl_bucket_key]
+        dest_local = ws.empty(np.asarray(isl_bucket_key).size, np.int32)
+        np.take(lut, isl_bucket_key, out=dest_local)
+        ws.recycle(isl_bucket_key)  # no-op when it aliases bucket_of
 
         r_per_pe = r_act[pe_isl]
         total_pieces = int(r_per_pe.sum())
@@ -721,7 +731,7 @@ def _ams_level_batched(
         narrow = total_pieces < 2 ** 31 and int(isl_offsets[-1]) < 2 ** 31
         if narrow:
             pe_piece_base = pe_piece_base.astype(np.int32)
-        piece_key = np.repeat(pe_piece_base, seg_sizes_b) + dest_local
+        piece_key = repeat_add(pe_piece_base, seg_sizes_b, dest_local, ws)
         # Piece reorder for the whole batch at once.  Three regimes:
         # * final level (every destination group a singleton, non-advanced
         #   delivery): no reorder at all — the delivery consumes the
@@ -747,7 +757,7 @@ def _ams_level_batched(
         if fuse_delivery:
             piece_values = None
             act_base = act_off[:-1].astype(np.int32) if narrow else act_off[:-1]
-            elem_dest = np.repeat(act_base, isl_counts) + dest_local
+            elem_dest = repeat_add(act_base, isl_counts, dest_local, ws)
         else:
             elem_dest = None
             n_groups_total = int(r_act.sum())
@@ -760,10 +770,11 @@ def _ams_level_batched(
                 gbase = np.cumsum(r_act) - r_act
                 if narrow:
                     gbase = gbase.astype(np.int32)
-                gkey = dest_local if n_act == 1 else (
-                    np.repeat(gbase, isl_counts) + dest_local
+                gkey = dest_local if n_act == 1 else repeat_add(
+                    gbase, isl_counts, dest_local, ws
                 )
                 order = stable_key_argsort(gkey, n_groups_total)
+                ws.recycle(gkey)  # no-op when it aliases dest_local
                 piece_layout = "colmaj"
             else:
                 order = stable_two_key_argsort(
@@ -773,6 +784,7 @@ def _ams_level_batched(
         piece_len = bincount(piece_key, minlength=total_pieces).astype(
             np.int64, copy=False
         )
+        ws.recycle(piece_key, dest_local)
         machine.advance_many(
             batch_members,
             map_by_unique2(
@@ -811,6 +823,8 @@ def _ams_level_batched(
         piece_layout=piece_layout,
     )
     received = delivery.received
+    if fuse_delivery:
+        get_arena().recycle(elem_dest)
 
     # ------------------------------------------------------------------
     # 4. Next-level island layout (+ pass-through of singleton islands)

@@ -155,6 +155,18 @@ class KernelBackend(ABC):
     def close(self) -> None:
         """Release pools/shared memory; the backend stays usable (lazy restart)."""
 
+    def release_workspace(self) -> None:
+        """Drop pooled workspace-arena buffers wherever kernels execute.
+
+        The default releases the process arena (in-process backends draw
+        their scratch from it); multiprocess backends additionally forward
+        the release to their workers, each of which owns a private arena.
+        Purely a memory hook — outputs are unaffected.
+        """
+        from repro.dist.workspace import get_arena
+
+        get_arena().release()
+
     def describe(self) -> str:
         """One-line human-readable description."""
         return self.name

@@ -259,7 +259,18 @@ def _w_take_ranges(mm, p) -> None:
     out[o0:o0 + idx.size] = vals[idx]
 
 
+def _w_release_workspace(mm, p) -> None:
+    # Each worker owns a private Python-level workspace arena (the fork
+    # hook in repro.dist.workspace resets it at spawn); this drops its
+    # pooled buffers so a released parent does not leave q workers pinning
+    # their shard-sized high water.
+    from repro.dist.workspace import get_arena
+
+    get_arena().release()
+
+
 _WORKER_KERNELS = {
+    "release_workspace": _w_release_workspace,
     "segmented_sort": _w_segmented_sort,
     "segmented_searchsorted": _w_segmented_searchsorted,
     "blockwise_searchsorted": _w_blockwise_searchsorted,
@@ -448,6 +459,16 @@ class SharedMemBackend(KernelBackend):
 
     def stats(self) -> Dict[str, Dict[str, int]]:
         return {k: dict(v) for k, v in self._stats.items()}
+
+    def release_workspace(self) -> None:
+        """Release the parent arena and every live worker's private arena."""
+        super().release_workspace()
+        if self._procs is None or self._pid != os.getpid():
+            return
+        self._run([
+            (widx, "release_workspace", {})
+            for widx in range(len(self._conns))
+        ])
 
     def describe(self) -> str:
         return f"sharedmem(workers={self.workers})"

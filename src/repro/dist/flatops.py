@@ -22,14 +22,19 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.dist.workspace import get_arena
 
-def segment_ids(offsets: np.ndarray) -> np.ndarray:
+
+def segment_ids(offsets: np.ndarray, arena=None) -> np.ndarray:
     """Segment index of every element for a CSR ``offsets`` vector.
 
     ``offsets`` has ``p + 1`` entries; the result has ``offsets[-1]``
     entries, with value ``i`` repeated ``offsets[i+1] - offsets[i]`` times.
     Computed as a cumulative sum of boundary markers, which is considerably
     faster than ``np.repeat`` for large element counts.
+
+    When ``arena`` is given the result is checked out of it — the caller
+    owns the buffer and must ``recycle`` it once the ids are dead.
 
     Deliberately int64: the ids index offset tables (``key_offsets[seg]``)
     and feed ``astype`` widenings in the composed-key sorts, and numpy
@@ -43,7 +48,10 @@ def segment_ids(offsets: np.ndarray) -> np.ndarray:
     total = int(offsets[-1])
     if total == 0:
         return np.empty(0, dtype=np.int64)
-    marks = np.zeros(total, dtype=np.int64)
+    if arena is None:
+        marks = np.zeros(total, dtype=np.int64)
+    else:
+        marks = arena.zeros(total, np.int64)
     interior = offsets[1:-1]
     interior = interior[interior < total]
     np.add.at(marks, interior, 1)
@@ -84,38 +92,40 @@ def enable_malloc_reuse() -> bool:
     return True
 
 
-_ARANGE_CACHES: dict = {}
-
-
 def cached_arange(n: int, dtype=np.int64) -> np.ndarray:
-    """Read-only view of ``np.arange(n, dtype=dtype)`` from a persistent workspace.
+    """Read-only view of ``np.arange(n, dtype=dtype)`` from the workspace arena.
 
     The flat engine builds ``0..total`` index ramps on every level
     (:func:`concat_ranges`, padded sorts); the ramp's contents never change,
     so one shared buffer per dtype — grown geometrically, marked read-only
     so a mutating caller fails loudly instead of corrupting it — replaces
     the per-call fills.  Callers that need a writable ramp must copy (any
-    arithmetic on the view allocates a fresh array anyway).
+    arithmetic on the view allocates a fresh array anyway).  The ramp lives
+    in the process :class:`~repro.dist.workspace.WorkspaceArena`, so
+    ``get_arena().release()`` (or ``SimulatedMachine.release_workspace()``)
+    actually sheds it — the former module-level cache pinned the high-water
+    ramp for the life of the process.
     """
-    dt = np.dtype(dtype)
-    cache = _ARANGE_CACHES.get(dt)
-    if cache is None or cache.size < n:
-        old = 0 if cache is None else cache.size
-        cache = np.arange(max(n, 2 * old), dtype=dt)
-        cache.setflags(write=False)
-        _ARANGE_CACHES[dt] = cache
-    return cache[:n]
+    return get_arena().arange(n, dtype)
 
 
-def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+def concat_ranges(
+    starts: np.ndarray, lengths: np.ndarray, arena=None
+) -> np.ndarray:
     """Index array gathering the ranges ``[starts[k], starts[k]+lengths[k])``.
 
     The returned array has ``lengths.sum()`` entries and enumerates all
     ranges back to back, so ``buffer[concat_ranges(s, l)]`` concatenates the
     ranges without any Python-level loop.  Zero-length ranges are skipped.
-    Built as ``arange(total)`` plus a per-range shift broadcast with
-    ``np.repeat`` — two sequential passes over the output, with the cumsum
-    confined to the (short) per-range vector instead of the element axis.
+
+    Without ``arena``, built as ``arange(total)`` plus a per-range shift
+    broadcast with ``np.repeat`` — two sequential passes over the output,
+    with the cumsum confined to the (short) per-range vector.  With
+    ``arena``, the result is checked out of the workspace (caller must
+    ``recycle`` it) and built allocation-free: the output is seeded with
+    ones, per-range shift *deltas* are scattered onto the range starts
+    (``np.add.at`` accumulates duplicates, so zero-length ranges telescope
+    correctly), and one in-place cumsum produces the same int64 values.
 
     Deliberately int64 (``intp``): the result exists to fancy-index value
     buffers, and numpy converts any non-``intp`` integer index array on
@@ -134,7 +144,50 @@ def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     # output position this is a constant shift per range.
     excl = np.cumsum(lengths) - lengths
     shift = starts - excl
-    return cached_arange(total) + np.repeat(shift, lengths)
+    if arena is None:
+        return cached_arange(total) + np.repeat(shift, lengths)
+    out = arena.full(total, 1, np.int64)
+    out[0] = shift[0]
+    pos = excl[1:]
+    keep = pos < total  # trailing zero-length ranges start past the end
+    np.add.at(out, pos[keep], np.diff(shift)[keep])
+    return np.cumsum(out, out=out)
+
+
+def repeat_add(
+    base: np.ndarray, lengths: np.ndarray, addend: np.ndarray, arena
+) -> np.ndarray:
+    """``np.repeat(base, lengths) + addend`` built in one workspace buffer.
+
+    The level executors broadcast a per-segment base onto the element axis
+    and add a per-element key four times per level (island bucket keys,
+    piece keys, destination planes) — each time allocating the repeat *and*
+    the sum.  This builds the repeat by the same telescoping
+    scatter-then-cumsum as :func:`concat_ranges` (exact for any integer
+    dtype: the scattered deltas reconstruct the values under two's
+    complement even if an intermediate wraps) directly in a checked-out
+    buffer of the promoted dtype and adds ``addend`` in place — zero fresh
+    allocations, byte-identical values.  The caller owns the result and
+    must ``recycle`` it.
+    """
+    base = np.asarray(base)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    addend = np.asarray(addend)
+    total = int(lengths.sum())
+    dt = np.result_type(base, addend)
+    out = arena.empty(total, dt)
+    if total == 0:
+        return out
+    vals = base.astype(dt, copy=False)
+    out.fill(0)
+    out[0] = vals[0]
+    excl = np.cumsum(lengths) - lengths
+    pos = excl[1:]
+    keep = pos < total  # trailing zero-length segments start past the end
+    np.add.at(out, pos[keep], np.diff(vals)[keep])
+    np.cumsum(out, out=out)
+    out += addend
+    return out
 
 
 def stable_key_argsort_numpy(key: np.ndarray, key_bound: int) -> np.ndarray:
@@ -147,12 +200,26 @@ def stable_key_argsort_numpy(key: np.ndarray, key_bound: int) -> np.ndarray:
     """
     key = np.asarray(key)
     if 0 <= key_bound <= 2 ** 8:
-        key = key.astype(np.uint8, copy=False)
+        narrow = np.uint8
     elif 0 <= key_bound <= 2 ** 16:
-        key = key.astype(np.uint16, copy=False)
+        narrow = np.uint16
     elif 0 <= key_bound < 2 ** 31:
-        key = key.astype(np.int32, copy=False)
-    return np.argsort(key, kind="stable")
+        narrow = np.int32
+    else:
+        narrow = None
+    if narrow is None or key.dtype == narrow or key.ndim != 1:
+        if narrow is not None:
+            key = key.astype(narrow, copy=False)
+        return np.argsort(key, kind="stable")
+    # The narrowing copy is a pure scratch (the permutation escapes, the
+    # narrowed key does not) — check it out of the workspace arena instead
+    # of allocating fresh per call.
+    ws = get_arena()
+    scratch = ws.empty(key.size, narrow)
+    np.copyto(scratch, key, casting="unsafe")
+    order = np.argsort(scratch, kind="stable")
+    ws.recycle(scratch)
+    return order
 
 
 def stable_two_key_argsort_numpy(
@@ -165,21 +232,41 @@ def stable_two_key_argsort_numpy(
     keeps both passes in the fast 16-bit path.  Identical to a stable
     argsort of ``major * minor_bound + minor``.
     """
+    ws = get_arena()
     if 0 <= major_bound * minor_bound <= 2 ** 16:
-        return stable_key_argsort_numpy(
-            major * minor_bound + minor, major_bound * minor_bound
-        )
+        # Composed key is a pure scratch; build it in the workspace.  Widen
+        # into the int64 buffer *first* so the arithmetic runs in int64 —
+        # a ufunc with narrow inputs and an int64 ``out`` would compute in
+        # the narrow loop and cast after, which is not the same thing.
+        key = ws.empty(np.asarray(major).size, np.int64)
+        np.copyto(key, major, casting="unsafe")
+        key *= minor_bound
+        key += minor
+        order = stable_key_argsort_numpy(key, major_bound * minor_bound)
+        ws.recycle(key)
+        return order
     if major_bound <= 2 ** 16 and minor_bound <= 2 ** 16:
-        order = np.argsort(minor.astype(np.uint16, copy=False), kind="stable")
-        order2 = np.argsort(
-            major.astype(np.uint16, copy=False)[order], kind="stable"
-        )
+        minor16 = ws.empty(np.asarray(minor).size, np.uint16)
+        np.copyto(minor16, minor, casting="unsafe")
+        order = np.argsort(minor16, kind="stable")
+        ws.recycle(minor16)
+        major16 = ws.empty(np.asarray(major).size, np.uint16)
+        np.copyto(major16, major, casting="unsafe")
+        permuted = ws.empty(major16.size, np.uint16)
+        np.take(major16, order, out=permuted)
+        order2 = np.argsort(permuted, kind="stable")
+        ws.recycle(major16, permuted)
         return order[order2]
     # Composed int64 keys: widen explicitly — narrow ids (int32 segment
     # ids) times a python-int bound would stay int32 under NEP 50 and
     # overflow for bounds this branch exists for.
-    key = major.astype(np.int64, copy=False) * minor_bound + minor
-    return stable_key_argsort_numpy(key, major_bound * minor_bound)
+    key = ws.empty(np.asarray(major).size, np.int64)
+    np.copyto(key, major, casting="unsafe")
+    key *= minor_bound
+    key += minor
+    order = stable_key_argsort_numpy(key, major_bound * minor_bound)
+    ws.recycle(key)
+    return order
 
 
 def _composed_radix_segment_sort(
@@ -206,12 +293,30 @@ def _composed_radix_segment_sort(
     seg_bits = int(p - 1).bit_length()
     if value_bits + seg_bits > 63:
         return None
-    seg = segment_ids(offsets).astype(np.int64, copy=False)
-    key = (seg << np.int64(value_bits)) | (values.astype(np.int64) - vmin)
+    ws = get_arena()
+    total = values.size
+    # When the output dtype is int64 the composed key *becomes* the result
+    # (``astype(copy=False)`` escapes it), so it must be a fresh
+    # allocation; narrower dtypes decompose into a fresh copy anyway, so
+    # the key is a pure workspace scratch.
+    escapes = values.dtype == np.int64
+    key = np.empty(total, dtype=np.int64) if escapes else ws.empty(total, np.int64)
+    seg = segment_ids(offsets, ws)
+    np.left_shift(seg, value_bits, out=key)
+    ws.recycle(seg)
+    tmp = ws.empty(total, np.int64)
+    np.copyto(tmp, values, casting="unsafe")
+    if vmin != 0:
+        tmp -= vmin
+    np.bitwise_or(key, tmp, out=key)
+    ws.recycle(tmp)
     key.sort()
     key &= np.int64((1 << value_bits) - 1)
     key += vmin
-    return key.astype(values.dtype, copy=False)
+    out = key.astype(values.dtype, copy=False)
+    if not escapes:
+        ws.recycle(key)
+    return out
 
 
 def _padded_segment_sort(
@@ -235,16 +340,22 @@ def _padded_segment_sort(
         pad = np.inf
     else:
         pad = np.iinfo(values.dtype).max
-    mat = np.full((p, int(max_len)), pad, dtype=values.dtype)
+    ws = get_arena()
+    # The (p, max_len) rectangle and its flat index are level-local
+    # scratch — both come from the workspace; only the final gather (the
+    # sorted values) escapes as a fresh array.
+    flat = ws.full(p * max_len, pad, values.dtype)
+    mat = flat.reshape(p, max_len)
     # Each segment occupies its row's prefix; one flat index addresses the
     # prefixes for both the scatter in and the gather out.
     flat_idx = concat_ranges(
-        np.arange(p, dtype=np.int64) * max_len, sizes
+        np.arange(p, dtype=np.int64) * max_len, sizes, arena=ws
     )
-    flat = mat.reshape(-1)
     flat[flat_idx] = values
     mat.sort(axis=1)
-    return flat[flat_idx]
+    out = flat[flat_idx]
+    ws.recycle(flat, flat_idx)
+    return out
 
 
 def segmented_sort_values_numpy(
@@ -704,8 +815,16 @@ def gather_numpy(values: np.ndarray, indices: np.ndarray) -> np.ndarray:
 def take_ranges_numpy(
     values: np.ndarray, starts: np.ndarray, lengths: np.ndarray
 ) -> np.ndarray:
-    """Reference implementation of :func:`take_ranges`."""
-    return values[concat_ranges(starts, lengths)]
+    """Reference implementation of :func:`take_ranges`.
+
+    The index plane is a pure scratch (only the gather escapes), so it
+    lives in the workspace arena for the duration of the call.
+    """
+    ws = get_arena()
+    idx = concat_ranges(starts, lengths, arena=ws)
+    out = values[idx]
+    ws.recycle(idx)
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -69,6 +69,26 @@ SCALE_PROFILES: Dict[str, Dict[str, object]] = {
         "validate_max_p": 1024,
         "reference_max_p": 1024,
     },
+    "beyond": {
+        # Past the paper (its largest machine is p = 2^15): "million-PE"
+        # extrapolation rows, flat engine only, three levels each (the
+        # "paper" level policy).  n/p is shrunk further so the p = 2^20
+        # row's element count (2.7e8) stays simulable; every cell is above
+        # `reference_max_p`, so the campaign pins it with a seeded
+        # determinism re-run instead of a cross-engine comparison.  The
+        # workspace arena bounds the per-level temporaries — see the README
+        # "Memory & the beyond-paper tier" section.
+        "p_values": (131072, 1048576),
+        "n_per_pe_values": (256,),
+        "repetitions": 1,
+        "node_size": 16,
+        "engine": "flat",
+        "level_counts": "paper",
+        "experiments": ("weak_scaling",),
+        "workloads": ("uniform",),
+        "validate_max_p": 1024,
+        "reference_max_p": 1024,
+    },
 }
 
 #: The configurations of the paper, for side-by-side reporting.

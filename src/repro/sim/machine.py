@@ -143,6 +143,25 @@ class SimulatedMachine:
             if self.fault_plan is not None and self.fault_plan.enabled
             else None
         )
+        from repro.dist.workspace import get_arena
+
+        #: The process workspace arena level execution draws scratch from.
+        #: Owned in the sense of lifecycle: :meth:`release_workspace` is the
+        #: public hook to shed the pooled high-water buffers between runs.
+        self.arena = get_arena()
+
+    def release_workspace(self) -> None:
+        """Drop the pooled workspace buffers (arena + backend workers).
+
+        Long campaigns call this between cells so the high-water scratch of
+        a big machine does not stay resident while smaller cells run.  The
+        next run simply faults its buffers back in; outputs and modelled
+        clocks are unaffected.
+        """
+        self.arena.release()
+        backend = self.backend
+        if backend is not None and hasattr(backend, "release_workspace"):
+            backend.release_workspace()
 
     # ------------------------------------------------------------------
     # Random number generation

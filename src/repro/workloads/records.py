@@ -31,10 +31,31 @@ def generate_records(n: int, rng: np.random.Generator | int = 0) -> np.ndarray:
         return records
     key_bytes = rng.integers(0, 256, size=(n, 10), dtype=np.uint8)
     payload_bytes = rng.integers(32, 127, size=(n, 90), dtype=np.uint8)
-    records["key"] = key_bytes.tobytes()
+    # An S10 *view* of the raw byte rows keeps every byte, NUL included:
+    # same-dtype field assignment is a buffer copy.  (Scalar reads of an S
+    # field still strip trailing NULs — that is numpy's bytes semantics —
+    # but the stored 10 bytes, comparisons and sorts all use the full key;
+    # see ``key_to_bytes`` for lossless extraction.)
     records["key"] = np.frombuffer(key_bytes.tobytes(), dtype="S10")
     records["payload"] = np.frombuffer(payload_bytes.tobytes(), dtype="S90")
     return records
+
+
+def key_to_bytes(keys: np.ndarray) -> np.ndarray:
+    """Lossless ``(n, itemsize)`` uint8 view of an S-dtype key array.
+
+    ``bytes(key[i])`` / ``.tolist()`` on an ``S`` array strip trailing NUL
+    bytes (numpy treats the field as a C string), so a random 10-byte key
+    ending in ``0x00`` silently round-trips shorter through Python-level
+    access.  The raw byte matrix is the NUL-safe representation — it is
+    what :func:`pack_key_bytes` packs and what tests should compare.
+    """
+    keys = np.asarray(keys)
+    if keys.dtype.kind != "S":
+        raise TypeError("expected a bytes (S) array of keys")
+    itemsize = keys.dtype.itemsize
+    raw = np.frombuffer(np.ascontiguousarray(keys).tobytes(), dtype=np.uint8)
+    return raw.reshape(keys.size, itemsize)
 
 
 def pack_key_bytes(keys: np.ndarray) -> np.ndarray:
@@ -45,18 +66,19 @@ def pack_key_bytes(keys: np.ndarray) -> np.ndarray:
     ``~2^-64`` for random keys), which the example resolves with a final
     stable local sort on the full byte key.
     """
-    keys = np.asarray(keys)
-    if keys.dtype.kind != "S":
-        raise TypeError("expected a bytes (S) array of keys")
-    itemsize = keys.dtype.itemsize
-    raw = np.frombuffer(np.ascontiguousarray(keys).tobytes(), dtype=np.uint8)
-    raw = raw.reshape(keys.size, itemsize)
+    raw = key_to_bytes(keys)
     first8 = np.ascontiguousarray(raw[:, :8])
-    return first8.view(">u8").reshape(keys.size).astype(np.uint64)
+    return first8.view(">u8").reshape(raw.shape[0]).astype(np.uint64)
 
 
 def unpack_key_bytes(words: np.ndarray) -> np.ndarray:
-    """Inverse of :func:`pack_key_bytes` (returns 8-byte keys)."""
+    """Inverse of :func:`pack_key_bytes` (returns 8-byte keys).
+
+    The returned ``S8`` array stores all 8 bytes — trailing NULs included —
+    so packing it again is lossless (``pack_key_bytes(unpack_key_bytes(w))
+    == w``).  Only *Python-level* reads of an element strip trailing NULs;
+    use :func:`key_to_bytes` when the exact bytes are needed as a matrix.
+    """
     words = np.asarray(words, dtype=np.uint64)
     be = words.astype(">u8")
     return be.view(np.uint8).reshape(words.size, 8).copy().view("S8").reshape(words.size)

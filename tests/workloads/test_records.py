@@ -6,6 +6,7 @@ import pytest
 from repro.workloads.records import (
     RECORD_DTYPE,
     generate_records,
+    key_to_bytes,
     pack_key_bytes,
     record_keys,
     split_records,
@@ -64,6 +65,79 @@ class TestKeyPacking:
             np.array([k[:8] for k in byte_sorted]),
             np.array([k[:8] for k in key_sorted]),
         )
+
+
+class TestPerRecordRandomKeys:
+    """Regression: generate_records once broadcast ONE truncated bytes blob
+    into every key (a dead first assignment of ``records["key"]``) — keys
+    must be independently random per record."""
+
+    def test_keys_differ_across_records(self):
+        records = generate_records(256, rng=7)
+        raw = key_to_bytes(records["key"])
+        # With one broadcast blob every row would be identical; random
+        # 10-byte keys are unique with overwhelming probability.
+        assert np.unique(raw, axis=0).shape[0] == 256
+
+    def test_keys_match_the_generator_stream(self):
+        rng = np.random.default_rng(11)
+        expected = rng.integers(0, 256, size=(40, 10), dtype=np.uint8)
+        records = generate_records(40, rng=11)
+        assert np.array_equal(key_to_bytes(records["key"]), expected)
+
+    def test_payloads_per_record(self):
+        records = generate_records(64, rng=9)
+        payloads = np.frombuffer(
+            records["payload"].tobytes(), dtype=np.uint8
+        ).reshape(64, 90)
+        assert np.unique(payloads, axis=0).shape[0] == 64
+
+
+class TestNulSafety:
+    """Regression: numpy strips trailing NUL bytes on *Python-level* reads
+    of S fields; storage, comparisons and the pack/unpack helpers must keep
+    every byte of a key that ends in ``0x00``."""
+
+    def test_key_ending_in_nul_is_stored_fully(self):
+        key = b"ABCDEFGH\x00\x00"  # 10 bytes, trailing NULs
+        records = np.zeros(2, dtype=RECORD_DTYPE)
+        records["key"] = np.frombuffer(key + key, dtype="S10")
+        raw = key_to_bytes(records["key"])
+        assert raw.shape == (2, 10)
+        assert bytes(raw[0]) == key  # all 10 bytes, NULs included
+        # ... while scalar access strips them (the documented footgun):
+        assert records["key"][0] == b"ABCDEFGH"
+
+    def test_pack_is_nul_safe(self):
+        # Two keys whose 8-byte prefixes differ only in a trailing NUL.
+        k1 = b"AAAAAAA\x00ZZ"
+        k2 = b"AAAAAAA\x01ZZ"
+        keys = np.frombuffer(k1 + k2, dtype="S10")
+        packed = pack_key_bytes(keys)
+        assert packed[0] != packed[1]
+        assert packed[0] < packed[1]  # NUL sorts lowest, like memcmp
+        prefixes = unpack_key_bytes(packed)
+        assert np.array_equal(key_to_bytes(prefixes)[0], key_to_bytes(keys)[0, :8])
+
+    def test_pack_unpack_pack_roundtrip_with_nuls(self):
+        rng = np.random.default_rng(3)
+        raw = rng.integers(0, 256, size=(64, 10), dtype=np.uint8)
+        raw[:, 7] = 0  # force a NUL inside every prefix
+        raw[::4, 8:] = 0  # and trailing NULs on some full keys
+        keys = np.frombuffer(raw.tobytes(), dtype="S10")
+        packed = pack_key_bytes(keys)
+        assert np.array_equal(pack_key_bytes(unpack_key_bytes(packed)), packed)
+
+    def test_sort_order_respects_nul_bytes(self):
+        k_lo = b"AB\x00AAAAAAA"
+        k_hi = b"ABAAAAAAAA"  # 'A' (0x41) > NUL (0x00) at position 2
+        keys = np.frombuffer(k_hi + k_lo, dtype="S10")
+        ordered = np.sort(keys)
+        assert np.array_equal(key_to_bytes(ordered)[0], key_to_bytes(keys)[1])
+
+    def test_key_to_bytes_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            key_to_bytes(np.arange(4))
 
 
 class TestSplitRecords:
