@@ -241,9 +241,16 @@ def run_on_machine(
         input_list = run_input
     if backend is None:
         backend = machine.backend
+    if isinstance(backend, str):
+        from repro.dist.backend import validate_backend_spec
+
+        validate_backend_spec(backend, source="backend spec")
     with use_backend(backend) as active_backend:
-        machine.backend_used = active_backend.name
         output = func(comm, run_input, **call_kwargs)
+        # Recorded *after* the run: a supervised backend may have demoted
+        # itself mid-run, and provenance must name the substrate that
+        # actually finished the job.
+        machine.backend_used = active_backend.effective_name()
     if isinstance(output, DistArray):
         output = output.to_list()
 

@@ -34,6 +34,7 @@ __all__ = [
     "NumpyBackend",
     "SharedMemBackend",
     "BACKEND_NAMES",
+    "validate_backend_spec",
     "get_backend",
     "current_backend",
     "install",
@@ -44,29 +45,61 @@ __all__ = [
 #: (``sharedmem`` also accepts a ``:N`` worker-count suffix).
 BACKEND_NAMES = ("numpy", "sharedmem")
 
+
+def validate_backend_spec(spec: Optional[str], source: str = "backend spec") -> Optional[str]:
+    """Parse-check a backend spec string without instantiating anything.
+
+    Every entry point that *accepts* a spec (``SimulatedMachine``,
+    ``run_on_machine``, ``--backend`` flags, ``REPRO_BACKEND``) calls this
+    up front so a typo fails at configuration time with a clear message,
+    not worker-pool construction time deep inside a run.  ``source`` names
+    the entry point in the error (e.g. ``"REPRO_BACKEND"``).  Returns the
+    normalised spec (or ``None`` for no spec).
+    """
+    if spec is None:
+        return None
+    key = str(spec).strip().lower()
+    if not key:
+        return None
+    name, _, arg = key.partition(":")
+    if name == "numpy":
+        if arg:
+            raise ValueError(
+                f"bad {source} {spec!r}: numpy takes no ':' argument"
+            )
+        return key
+    if name == "sharedmem":
+        if not arg:
+            return key
+        try:
+            workers = int(arg)
+        except ValueError:
+            raise ValueError(
+                f"bad {source} {spec!r}: worker count must be an integer"
+            ) from None
+        if workers < 1:
+            raise ValueError(
+                f"bad {source} {spec!r}: worker count must be >= 1"
+            )
+        return key
+    raise ValueError(
+        f"unknown {source} {spec!r}; known: {', '.join(BACKEND_NAMES)} "
+        "(sharedmem takes an optional ':<workers>' suffix)"
+    )
+
+
 _INSTANCES: dict = {}
 _DEFAULT: Optional[KernelBackend] = None  # set by install()
 
 
 def _from_spec(spec: str) -> KernelBackend:
+    spec = validate_backend_spec(spec, source="backend spec") or "numpy"
     name, _, arg = spec.partition(":")
-    name = name.strip().lower()
-    if name == "numpy" and not arg:
+    if name == "numpy":
         return NumpyBackend()
-    if name == "sharedmem":
-        if not arg:
-            return SharedMemBackend()
-        try:
-            workers = int(arg)
-        except ValueError:
-            raise ValueError(
-                f"bad backend spec {spec!r}: worker count must be an integer"
-            ) from None
-        return SharedMemBackend(workers=workers)
-    raise ValueError(
-        f"unknown backend {spec!r}; known: {', '.join(BACKEND_NAMES)} "
-        "(sharedmem takes an optional ':<workers>' suffix)"
-    )
+    if not arg:
+        return SharedMemBackend()
+    return SharedMemBackend(workers=int(arg))
 
 
 def get_backend(
@@ -79,6 +112,8 @@ def get_backend(
         if _DEFAULT is not None:
             return _DEFAULT
         spec = os.environ.get("REPRO_BACKEND", "").strip() or "numpy"
+        # Name the env var in the error: the user never typed a flag.
+        validate_backend_spec(spec, source="REPRO_BACKEND spec")
     key = str(spec).strip().lower()
     inst = _INSTANCES.get(key)
     if inst is None:

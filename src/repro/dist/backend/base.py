@@ -152,6 +152,16 @@ class KernelBackend(ABC):
         """Per-kernel dispatch counters (empty for stateless backends)."""
         return {}
 
+    def effective_name(self) -> str:
+        """The name describing how kernels *actually* execute right now.
+
+        Equals :attr:`name` unless the backend has demoted itself (e.g. a
+        supervised pool that degraded to inline execution after repeated
+        worker failures); ``machine.backend_used`` records this value so a
+        run's provenance shows the substrate that really ran it.
+        """
+        return self.name
+
     def close(self) -> None:
         """Release pools/shared memory; the backend stays usable (lazy restart)."""
 

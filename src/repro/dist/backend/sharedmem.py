@@ -46,6 +46,16 @@ inline this way; only the element-scale passes fan out.
 The pool is lazy (no processes until the first sharded call) and
 fork-aware: a process that inherits a backend across ``fork`` (campaign
 workers) abandons the parent's pipes and builds its own pool on first use.
+
+**Supervision.**  The processes live inside a
+:class:`~repro.dist.backend.supervisor.SupervisedPool`: worker death or a
+missed per-call deadline triggers respawn against the same arena file and
+a bounded re-dispatch of the failed shard (kernels are pure, so the retry
+is byte-identical).  If the pool keeps failing, the backend *degrades* —
+it closes the pool and runs every further kernel inline on the numpy
+reference, which is slower but still byte-identical; the demotion is
+visible in :meth:`SharedMemBackend.stats` and
+:meth:`SharedMemBackend.effective_name`.
 """
 
 from __future__ import annotations
@@ -54,14 +64,21 @@ import atexit
 import mmap
 import os
 import tempfile
+import time
 import traceback
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.chaos import get_chaos
 from repro.dist import flatops
 from repro.dist.backend.base import KernelBackend
 from repro.dist.backend.numpy_backend import NumpyBackend
+from repro.dist.backend.supervisor import (
+    RECOVERY_COUNTERS,
+    PoolFailureError,
+    SupervisedPool,
+)
 
 _ALIGN = 64
 
@@ -259,6 +276,19 @@ def _w_take_ranges(mm, p) -> None:
     out[o0:o0 + idx.size] = vals[idx]
 
 
+def _w_debug_sleep(mm, p) -> None:
+    # Test-only kernel: a worker that blocks for ``seconds`` without
+    # touching the arena, so the supervisor's deadline/respawn path can be
+    # exercised deterministically (no real kernel is this slow).
+    # ``ignore_sigterm`` additionally makes the worker a *wedged* process
+    # that shrugs off ``terminate()`` — the shutdown-escalation scenario.
+    if p.get("ignore_sigterm"):
+        import signal
+
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    time.sleep(p["seconds"])
+
+
 def _w_release_workspace(mm, p) -> None:
     # Each worker owns a private Python-level workspace arena (the fork
     # hook in repro.dist.workspace resets it at spawn); this drops its
@@ -270,6 +300,7 @@ def _w_release_workspace(mm, p) -> None:
 
 
 _WORKER_KERNELS = {
+    "debug_sleep": _w_debug_sleep,
     "release_workspace": _w_release_workspace,
     "segmented_sort": _w_segmented_sort,
     "segmented_searchsorted": _w_segmented_searchsorted,
@@ -348,9 +379,23 @@ class SharedMemBackend(KernelBackend):
     min_parallel_elements:
         Calls moving fewer elements than this run inline on the numpy
         reference (the pool round-trip would dominate).  The equivalence
-        tests set it to 0 to force sharding on tiny inputs.
+        tests set it to 0 to force sharding on tiny inputs; the
+        ``REPRO_SHM_CUTOFF`` environment variable overrides the default
+        (so env-selected backends can be forced to shard small campaigns).
     arena_bytes:
         Initial arena capacity (grows geometrically on demand).
+    call_timeout_s:
+        Optional wall-clock deadline per dispatch round; a worker that
+        misses it is killed, respawned and its shard retried.  ``None``
+        (the default, overridable via ``REPRO_SHM_TIMEOUT``) waits for
+        worker death only — kernels have no unbounded loops, so a healthy
+        worker always answers.
+    max_shard_retries:
+        Re-dispatch budget per kernel call before the pool gives up and
+        the call falls back inline.
+    degrade_after:
+        Consecutive pool failures after which the backend demotes itself
+        to inline execution for the rest of its life (until ``close()``).
     """
 
     name = "sharedmem"
@@ -358,8 +403,11 @@ class SharedMemBackend(KernelBackend):
     def __init__(
         self,
         workers: Optional[int] = None,
-        min_parallel_elements: int = 1 << 16,
+        min_parallel_elements: Optional[int] = None,
         arena_bytes: int = 1 << 26,
+        call_timeout_s: Optional[float] = None,
+        max_shard_retries: int = 2,
+        degrade_after: int = 3,
     ):
         if workers is None:
             try:
@@ -368,14 +416,40 @@ class SharedMemBackend(KernelBackend):
                 workers = os.cpu_count() or 1
             workers = min(workers, 8)
         self.workers = max(1, int(workers))
+        if min_parallel_elements is None:
+            env_cutoff = os.environ.get("REPRO_SHM_CUTOFF", "").strip()
+            if env_cutoff:
+                try:
+                    min_parallel_elements = int(env_cutoff)
+                except ValueError:
+                    raise ValueError(
+                        f"bad REPRO_SHM_CUTOFF {env_cutoff!r}: must be an integer"
+                    ) from None
+            else:
+                min_parallel_elements = 1 << 16
         self.min_parallel_elements = int(min_parallel_elements)
+        if call_timeout_s is None:
+            env_timeout = os.environ.get("REPRO_SHM_TIMEOUT", "").strip()
+            if env_timeout:
+                try:
+                    call_timeout_s = float(env_timeout)
+                except ValueError:
+                    raise ValueError(
+                        f"bad REPRO_SHM_TIMEOUT {env_timeout!r}: must be a number "
+                        "of seconds"
+                    ) from None
+        self.call_timeout_s = call_timeout_s
+        self.max_shard_retries = int(max_shard_retries)
+        self.degrade_after = int(degrade_after)
         self._arena_bytes = int(arena_bytes)
         self._numpy = NumpyBackend()
         self._arena: Optional[_Arena] = None
-        self._conns: Optional[list] = None
-        self._procs: Optional[list] = None
+        self._pool: Optional[SupervisedPool] = None
         self._pid: Optional[int] = None
         self._stats: Dict[str, Dict[str, int]] = {}
+        self._degraded: Optional[str] = None
+        self._consecutive_failures = 0
+        self._inline_fallbacks = 0
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -385,93 +459,173 @@ class SharedMemBackend(KernelBackend):
         return self.workers > 1
 
     def _ensure_pool(self) -> None:
-        if self._procs is not None:
+        if self._pool is not None:
             if self._pid == os.getpid():
                 return
             # Inherited across fork: the pipes belong to the parent.
             # Abandon (never close) them and build a fresh pool here.
-            self._procs = None
-            self._conns = None
+            self._pool = None
             self._arena = None
-        import multiprocessing as mp
-
-        try:
-            ctx = mp.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX hosts
-            ctx = mp.get_context("spawn")
         self._arena = _Arena(self._arena_bytes)
-        self._conns = []
-        self._procs = []
-        for _ in range(self.workers):
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child, self._arena.path),
-                daemon=True,
-            )
-            proc.start()
-            child.close()
-            self._conns.append(parent)
-            self._procs.append(proc)
+        self._pool = SupervisedPool(
+            workers=self.workers,
+            arena_path=self._arena.path,
+            worker_target=_worker_main,
+            call_timeout=self.call_timeout_s,
+            max_shard_retries=self.max_shard_retries,
+            chaos=get_chaos(),
+        )
         self._pid = os.getpid()
         atexit.register(self.close)
 
     def close(self) -> None:
-        """Stop the workers and unlink the arena (pool restarts lazily)."""
-        if self._procs is None or self._pid != os.getpid():
-            return
-        for conn in self._conns:
+        """Stop the workers and unlink the arena (pool restarts lazily).
+
+        Shutdown escalates quit → join → ``terminate()`` → ``kill()`` in
+        the supervisor, and the arena unlink is guaranteed even if worker
+        teardown misbehaves — a wedged worker must not leak the /dev/shm
+        file.  Degradation is also cleared: a re-opened pool starts fresh.
+        """
+        if self._pool is not None and self._pid == os.getpid():
             try:
-                conn.send(None)
-            except (BrokenPipeError, OSError):
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - stuck worker
-                proc.terminate()
-                proc.join(timeout=5)
-        for conn in self._conns:
-            conn.close()
-        if self._arena is not None:
+                self._merge_pool_counters(self._pool)
+                self._pool.close()
+            finally:
+                if self._arena is not None:
+                    self._arena.close()
+        elif self._arena is not None and self._pid == os.getpid():
             self._arena.close()
-        self._procs = None
-        self._conns = None
+        self._pool = None
         self._arena = None
+        self._degraded = None
+        self._consecutive_failures = 0
 
     def _run(self, tasks: List[Tuple[int, str, dict]]) -> None:
         """Execute one round of shard tasks, one per distinct worker."""
-        size = self._arena.size
-        for widx, name, payload in tasks:
-            self._conns[widx].send((name, size, payload))
-        errors = []
-        for widx, name, _ in tasks:
-            status, detail = self._conns[widx].recv()
-            if status != "ok":
-                errors.append(f"[worker {widx}, kernel {name}]\n{detail}")
-        if errors:
-            raise RuntimeError(
-                "sharedmem backend worker failed:\n" + "\n".join(errors)
-            )
+        self._pool.run(tasks, self._arena.size)
 
+    # ------------------------------------------------------------------
+    # Supervision / degradation
+    # ------------------------------------------------------------------
+    def _supervised(
+        self, kernel: str, attempt: Callable[[], np.ndarray],
+        inline: Callable[[], np.ndarray],
+    ) -> np.ndarray:
+        """Run the sharded attempt with inline fallback and degradation.
+
+        A :class:`PoolFailureError` (retry budget exhausted) or a spawn
+        failure falls back to the inline reference — byte-identical by the
+        backend contract — and counts toward degradation; after
+        ``degrade_after`` consecutive pool failures the pool is closed for
+        good and every further call goes straight inline.  Deterministic
+        in-kernel exceptions (``WorkerKernelError``) propagate unchanged:
+        they would reproduce on retry and must keep raising exactly like
+        the inline reference's validation does.
+        """
+        if self._degraded is None:
+            try:
+                result = attempt()
+            except (PoolFailureError, OSError) as exc:
+                self._note_pool_failure(kernel, exc)
+            else:
+                self._consecutive_failures = 0
+                self._count(kernel, True)
+                return result
+        self._inline_fallbacks += 1
+        self._count(kernel, False)
+        return inline()
+
+    def _note_pool_failure(self, kernel: str, exc: BaseException) -> None:
+        self._consecutive_failures += 1
+        if self._consecutive_failures < self.degrade_after:
+            return
+        self._degraded = (
+            f"{self._consecutive_failures} consecutive pool failures "
+            f"(last: {kernel}: {exc})"
+        )
+        # Reap whatever is left of the pool but keep the degradation mark
+        # (close() is what clears it): swap the state out first so close()
+        # cannot recurse or reset the demotion.
+        pool, arena = self._pool, self._arena
+        self._pool = None
+        self._arena = None
+        if pool is not None:
+            try:
+                self._merge_pool_counters(pool)
+                pool.close()
+            finally:
+                if arena is not None:
+                    arena.close()
+
+    @property
+    def degraded(self) -> Optional[str]:
+        """Why the backend demoted itself to inline execution, or ``None``."""
+        return self._degraded
+
+    def effective_name(self) -> str:
+        if self._degraded is not None:
+            return f"{self.name}:degraded->numpy"
+        return self.name
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
     def _count(self, kernel: str, sharded: bool) -> None:
         entry = self._stats.setdefault(kernel, {"sharded": 0, "inline": 0})
         entry["sharded" if sharded else "inline"] += 1
 
+    def _merge_pool_counters(self, pool: SupervisedPool) -> None:
+        # Folded into ``_retired_counters`` so stats() survive pool closes
+        # (degradation closes the pool but its recovery history must stay
+        # visible).
+        acc = getattr(self, "_retired_counters", None)
+        if acc is None:
+            acc = self._retired_counters = {}
+        for key, value in pool.counters.items():
+            acc[key] = acc.get(key, 0) + value
+
+    def supervisor_stats(self) -> Dict[str, object]:
+        """Recovery counters + degradation state (``stats()['supervisor']``)."""
+        # Zero-seed every recovery counter so the stats schema is stable:
+        # a healthy run reports 0s, not missing keys.
+        counters: Dict[str, int] = {k: 0 for k in RECOVERY_COUNTERS}
+        counters.update(getattr(self, "_retired_counters", {}))
+        if self._pool is not None and self._pid == os.getpid():
+            for key, value in self._pool.counters.items():
+                counters[key] = counters.get(key, 0) + value
+        chaos = get_chaos()
+        if chaos is not None:
+            for key, value in chaos.counters.items():
+                counters[f"chaos_{key}"] = value
+        out: Dict[str, object] = dict(counters)
+        out["inline_fallbacks"] = self._inline_fallbacks
+        out["degraded"] = self._degraded
+        return out
+
     def stats(self) -> Dict[str, Dict[str, int]]:
-        return {k: dict(v) for k, v in self._stats.items()}
+        out: Dict[str, Dict[str, int]] = {
+            k: dict(v) for k, v in self._stats.items()
+        }
+        out["supervisor"] = self.supervisor_stats()  # type: ignore[assignment]
+        return out
 
     def release_workspace(self) -> None:
         """Release the parent arena and every live worker's private arena."""
         super().release_workspace()
-        if self._procs is None or self._pid != os.getpid():
+        if self._pool is None or self._pid != os.getpid():
             return
-        self._run([
-            (widx, "release_workspace", {})
-            for widx in range(len(self._conns))
-        ])
+        try:
+            self._run([
+                (widx, "release_workspace", {})
+                for widx in range(self.workers)
+            ])
+        except PoolFailureError:
+            # Best-effort memory hook: a dying pool has nothing to release.
+            pass
 
     def describe(self) -> str:
-        return f"sharedmem(workers={self.workers})"
+        extra = ", degraded" if self._degraded is not None else ""
+        return f"sharedmem(workers={self.workers}{extra})"
 
     # ------------------------------------------------------------------
     # Kernels
@@ -491,27 +645,32 @@ class SharedMemBackend(KernelBackend):
         ):
             self._count("segmented_sort_values", False)
             return self._numpy.segmented_sort_values(values, offsets)
-        self._count("segmented_sort_values", True)
-        self._ensure_pool()
-        arena = self._arena
-        arena.begin(
-            _aligned(values.nbytes) + _aligned(offsets.nbytes)
-            + _aligned(values.nbytes) + 4 * _ALIGN
+        def attempt() -> np.ndarray:
+            self._ensure_pool()
+            arena = self._arena
+            arena.begin(
+                _aligned(values.nbytes) + _aligned(offsets.nbytes)
+                + _aligned(values.nbytes) + 4 * _ALIGN
+            )
+            d_vals = arena.put(values)
+            d_off = arena.put(offsets)
+            out, d_out = arena.alloc(values.size, values.dtype)
+            cuts = _weighted_cuts(offsets, self.workers)
+            tasks = []
+            for w in range(self.workers):
+                s0, s1 = int(cuts[w]), int(cuts[w + 1])
+                if s1 > s0 and offsets[s1] > offsets[s0]:
+                    tasks.append((w, "segmented_sort", {
+                        "values": d_vals, "offsets": d_off, "out": d_out,
+                        "s0": s0, "s1": s1,
+                    }))
+            self._run(tasks)
+            return out.copy()
+
+        return self._supervised(
+            "segmented_sort_values", attempt,
+            lambda: self._numpy.segmented_sort_values(values, offsets),
         )
-        d_vals = arena.put(values)
-        d_off = arena.put(offsets)
-        out, d_out = arena.alloc(values.size, values.dtype)
-        cuts = _weighted_cuts(offsets, self.workers)
-        tasks = []
-        for w in range(self.workers):
-            s0, s1 = int(cuts[w]), int(cuts[w + 1])
-            if s1 > s0 and offsets[s1] > offsets[s0]:
-                tasks.append((w, "segmented_sort", {
-                    "values": d_vals, "offsets": d_off, "out": d_out,
-                    "s0": s0, "s1": s1,
-                }))
-        self._run(tasks)
-        return out.copy()
 
     def segmented_searchsorted(
         self,
@@ -539,7 +698,6 @@ class SharedMemBackend(KernelBackend):
             return self._numpy.segmented_searchsorted(
                 values, offsets, queries, query_seg, side=side, lo=lo, hi=hi
             )
-        self._count("segmented_searchsorted", True)
         offsets = np.asarray(offsets, dtype=np.int64)
         query_seg = np.asarray(query_seg, dtype=np.int64)
         # The reference's argument validation, verbatim, so sharding never
@@ -573,40 +731,48 @@ class SharedMemBackend(KernelBackend):
         ):
             raise IndexError("search window out of segment range")
 
-        self._ensure_pool()
-        arena = self._arena
-        lo64 = None if lo is None else np.asarray(lo, dtype=np.int64)
-        hi64 = None if hi is None else np.asarray(hi, dtype=np.int64)
-        need = (
-            _aligned(values.nbytes) + _aligned(offsets.nbytes)
-            + _aligned(queries.nbytes) + _aligned(query_seg.nbytes)
-            + (0 if side_arr is None else _aligned(side_arr.nbytes))
-            + (0 if lo64 is None else _aligned(lo64.nbytes))
-            + (0 if hi64 is None else _aligned(hi64.nbytes))
-            + _aligned(queries.size * 8) + 8 * _ALIGN
+        def attempt() -> np.ndarray:
+            self._ensure_pool()
+            arena = self._arena
+            lo64 = None if lo is None else np.asarray(lo, dtype=np.int64)
+            hi64 = None if hi is None else np.asarray(hi, dtype=np.int64)
+            need = (
+                _aligned(values.nbytes) + _aligned(offsets.nbytes)
+                + _aligned(queries.nbytes) + _aligned(query_seg.nbytes)
+                + (0 if side_arr is None else _aligned(side_arr.nbytes))
+                + (0 if lo64 is None else _aligned(lo64.nbytes))
+                + (0 if hi64 is None else _aligned(hi64.nbytes))
+                + _aligned(queries.size * 8) + 8 * _ALIGN
+            )
+            arena.begin(need)
+            payload_base = {
+                "values": arena.put(values),
+                "offsets": arena.put(offsets),
+                "queries": arena.put(queries),
+                "query_seg": arena.put(query_seg),
+                "side": side_str,
+                "side_arr": None if side_arr is None else arena.put(side_arr),
+                "lo": None if lo64 is None else arena.put(lo64),
+                "hi": None if hi64 is None else arena.put(hi64),
+            }
+            out, d_out = arena.alloc(queries.size, np.int64)
+            cuts = _range_cuts(queries.size, self.workers)
+            tasks = []
+            for w in range(self.workers):
+                q0, q1 = cuts[w], cuts[w + 1]
+                if q1 > q0:
+                    payload = dict(payload_base)
+                    payload.update({"out": d_out, "q0": q0, "q1": q1})
+                    tasks.append((w, "segmented_searchsorted", payload))
+            self._run(tasks)
+            return out.copy()
+
+        return self._supervised(
+            "segmented_searchsorted", attempt,
+            lambda: self._numpy.segmented_searchsorted(
+                values, offsets, queries, query_seg, side=side, lo=lo, hi=hi
+            ),
         )
-        arena.begin(need)
-        payload_base = {
-            "values": arena.put(values),
-            "offsets": arena.put(offsets),
-            "queries": arena.put(queries),
-            "query_seg": arena.put(query_seg),
-            "side": side_str,
-            "side_arr": None if side_arr is None else arena.put(side_arr),
-            "lo": None if lo64 is None else arena.put(lo64),
-            "hi": None if hi64 is None else arena.put(hi64),
-        }
-        out, d_out = arena.alloc(queries.size, np.int64)
-        cuts = _range_cuts(queries.size, self.workers)
-        tasks = []
-        for w in range(self.workers):
-            q0, q1 = cuts[w], cuts[w + 1]
-            if q1 > q0:
-                payload = dict(payload_base)
-                payload.update({"out": d_out, "q0": q0, "q1": q1})
-                tasks.append((w, "segmented_searchsorted", payload))
-        self._run(tasks)
-        return out.copy()
 
     def blockwise_searchsorted(
         self,
@@ -630,36 +796,44 @@ class SharedMemBackend(KernelBackend):
             return self._numpy.blockwise_searchsorted(
                 values, offsets, queries, query_offsets, side=side
             )
-        self._count("blockwise_searchsorted", True)
         if query_offsets.size != offsets.size:
             raise ValueError("need exactly one query block per segment")
         if int(query_offsets[-1]) != queries.size:
             raise ValueError("query_offsets must cover the query array")
-        self._ensure_pool()
-        arena = self._arena
-        arena.begin(
-            _aligned(values.nbytes) + _aligned(offsets.nbytes)
-            + _aligned(queries.nbytes) + _aligned(query_offsets.nbytes)
-            + _aligned(queries.size * 8) + 8 * _ALIGN
+
+        def attempt() -> np.ndarray:
+            self._ensure_pool()
+            arena = self._arena
+            arena.begin(
+                _aligned(values.nbytes) + _aligned(offsets.nbytes)
+                + _aligned(queries.nbytes) + _aligned(query_offsets.nbytes)
+                + _aligned(queries.size * 8) + 8 * _ALIGN
+            )
+            d = {
+                "values": arena.put(values),
+                "offsets": arena.put(offsets),
+                "queries": arena.put(queries),
+                "query_offsets": arena.put(query_offsets),
+                "side": side,
+            }
+            out, d_out = arena.alloc(queries.size, np.int64)
+            cuts = _weighted_cuts(query_offsets, self.workers)
+            tasks = []
+            for w in range(self.workers):
+                s0, s1 = int(cuts[w]), int(cuts[w + 1])
+                if s1 > s0 and query_offsets[s1] > query_offsets[s0]:
+                    payload = dict(d)
+                    payload.update({"out": d_out, "s0": s0, "s1": s1})
+                    tasks.append((w, "blockwise_searchsorted", payload))
+            self._run(tasks)
+            return out.copy()
+
+        return self._supervised(
+            "blockwise_searchsorted", attempt,
+            lambda: self._numpy.blockwise_searchsorted(
+                values, offsets, queries, query_offsets, side=side
+            ),
         )
-        d = {
-            "values": arena.put(values),
-            "offsets": arena.put(offsets),
-            "queries": arena.put(queries),
-            "query_offsets": arena.put(query_offsets),
-            "side": side,
-        }
-        out, d_out = arena.alloc(queries.size, np.int64)
-        cuts = _weighted_cuts(query_offsets, self.workers)
-        tasks = []
-        for w in range(self.workers):
-            s0, s1 = int(cuts[w]), int(cuts[w + 1])
-            if s1 > s0 and query_offsets[s1] > query_offsets[s0]:
-                payload = dict(d)
-                payload.update({"out": d_out, "s0": s0, "s1": s1})
-                tasks.append((w, "blockwise_searchsorted", payload))
-        self._run(tasks)
-        return out.copy()
 
     def ragged_bincount(
         self,
@@ -682,37 +856,45 @@ class SharedMemBackend(KernelBackend):
         ):
             self._count("ragged_bincount", False)
             return self._numpy.ragged_bincount(seg, key, key_offsets, validate=validate)
-        self._count("ragged_bincount", True)
         if seg.shape != key.shape:
             raise ValueError("seg and key must have the same shape")
         if validate and seg.size:
             widths = np.diff(key_offsets)
             if key.min(initial=0) < 0 or np.any(key >= widths[seg]):
                 raise IndexError("bin index out of range for its segment")
-        self._ensure_pool()
-        arena = self._arena
-        arena.begin(
-            _aligned(seg.nbytes) + _aligned(key.nbytes)
-            + _aligned(key_offsets.nbytes)
-            + _aligned(self.workers * nbins * 8) + 8 * _ALIGN
+
+        def attempt() -> np.ndarray:
+            self._ensure_pool()
+            arena = self._arena
+            arena.begin(
+                _aligned(seg.nbytes) + _aligned(key.nbytes)
+                + _aligned(key_offsets.nbytes)
+                + _aligned(self.workers * nbins * 8) + 8 * _ALIGN
+            )
+            d_seg = arena.put(seg)
+            d_key = arena.put(key)
+            d_koff = arena.put(key_offsets)
+            counts, d_counts = arena.alloc((self.workers, nbins), np.int64)
+            cuts = _range_cuts(n, self.workers)
+            tasks = []
+            for w in range(self.workers):
+                e0, e1 = cuts[w], cuts[w + 1]
+                if e1 > e0:
+                    tasks.append((w, "ragged_bincount", {
+                        "seg": d_seg, "key": d_key, "key_offsets": d_koff,
+                        "counts": d_counts, "row": w, "e0": e0, "e1": e1,
+                    }))
+                else:
+                    counts[w, :] = 0
+            self._run(tasks)
+            return counts.sum(axis=0)
+
+        return self._supervised(
+            "ragged_bincount", attempt,
+            lambda: self._numpy.ragged_bincount(
+                seg, key, key_offsets, validate=False
+            ),
         )
-        d_seg = arena.put(seg)
-        d_key = arena.put(key)
-        d_koff = arena.put(key_offsets)
-        counts, d_counts = arena.alloc((self.workers, nbins), np.int64)
-        cuts = _range_cuts(n, self.workers)
-        tasks = []
-        for w in range(self.workers):
-            e0, e1 = cuts[w], cuts[w + 1]
-            if e1 > e0:
-                tasks.append((w, "ragged_bincount", {
-                    "seg": d_seg, "key": d_key, "key_offsets": d_koff,
-                    "counts": d_counts, "row": w, "e0": e0, "e1": e1,
-                }))
-            else:
-                counts[w, :] = 0
-        self._run(tasks)
-        return counts.sum(axis=0)
 
     def bincount(
         self,
@@ -739,27 +921,33 @@ class SharedMemBackend(KernelBackend):
         if nbins * self.workers > max(4 * n, 1 << 16):
             self._count("bincount", False)
             return self._numpy.bincount(key, minlength=minlength, weights=weights)
-        self._count("bincount", True)
-        self._ensure_pool()
-        arena = self._arena
-        arena.begin(
-            _aligned(key.nbytes) + _aligned(self.workers * nbins * 8) + 4 * _ALIGN
+        def attempt() -> np.ndarray:
+            self._ensure_pool()
+            arena = self._arena
+            arena.begin(
+                _aligned(key.nbytes) + _aligned(self.workers * nbins * 8)
+                + 4 * _ALIGN
+            )
+            d_key = arena.put(key)
+            counts, d_counts = arena.alloc((self.workers, nbins), np.int64)
+            cuts = _range_cuts(n, self.workers)
+            tasks = []
+            for w in range(self.workers):
+                e0, e1 = cuts[w], cuts[w + 1]
+                if e1 > e0:
+                    tasks.append((w, "bincount", {
+                        "key": d_key, "counts": d_counts, "row": w,
+                        "e0": e0, "e1": e1,
+                    }))
+                else:
+                    counts[w, :] = 0
+            self._run(tasks)
+            return counts.sum(axis=0)
+
+        return self._supervised(
+            "bincount", attempt,
+            lambda: self._numpy.bincount(key, minlength=minlength),
         )
-        d_key = arena.put(key)
-        counts, d_counts = arena.alloc((self.workers, nbins), np.int64)
-        cuts = _range_cuts(n, self.workers)
-        tasks = []
-        for w in range(self.workers):
-            e0, e1 = cuts[w], cuts[w + 1]
-            if e1 > e0:
-                tasks.append((w, "bincount", {
-                    "key": d_key, "counts": d_counts, "row": w,
-                    "e0": e0, "e1": e1,
-                }))
-            else:
-                counts[w, :] = 0
-        self._run(tasks)
-        return counts.sum(axis=0)
 
     def stable_key_argsort(self, key: np.ndarray, key_bound: int) -> np.ndarray:
         key = np.asarray(key)
@@ -776,49 +964,55 @@ class SharedMemBackend(KernelBackend):
         ):
             self._count("stable_key_argsort", False)
             return self._numpy.stable_key_argsort(key, key_bound)
-        self._count("stable_key_argsort", True)
-        self._ensure_pool()
-        arena = self._arena
-        bound = int(key_bound)
-        arena.begin(
-            _aligned(key.nbytes)
-            + 2 * _aligned(self.workers * bound * 8)
-            + _aligned(n * 8) + 8 * _ALIGN
+        def attempt() -> np.ndarray:
+            self._ensure_pool()
+            arena = self._arena
+            bound = int(key_bound)
+            arena.begin(
+                _aligned(key.nbytes)
+                + 2 * _aligned(self.workers * bound * 8)
+                + _aligned(n * 8) + 8 * _ALIGN
+            )
+            d_key = arena.put(key)
+            counts, d_counts = arena.alloc((self.workers, bound), np.int64)
+            starts, d_starts = arena.alloc((self.workers, bound), np.int64)
+            out, d_out = arena.alloc(n, np.int64)
+            cuts = _range_cuts(n, self.workers)
+            shards = [
+                (w, cuts[w], cuts[w + 1])
+                for w in range(self.workers) if cuts[w + 1] > cuts[w]
+            ]
+            self._run([
+                (w, "bincount", {
+                    "key": d_key, "counts": d_counts, "row": w,
+                    "e0": e0, "e1": e1,
+                })
+                for w, e0, e1 in shards
+            ])
+            for w in range(self.workers):
+                if cuts[w + 1] == cuts[w]:
+                    counts[w, :] = 0
+            # Write starts: global exclusive rank of (worker, key) in stable
+            # order — key-major, worker-minor, then in-shard arrival order.
+            col_tot = counts.sum(axis=0)
+            base = np.cumsum(col_tot) - col_tot
+            np.cumsum(counts, axis=0, out=starts)
+            starts -= counts
+            starts += base[None, :]
+            self._run([
+                (w, "rank_scatter", {
+                    "key": d_key, "counts": d_counts, "starts": d_starts,
+                    "out": d_out, "row": w, "e0": e0, "e1": e1,
+                    "key_bound": bound,
+                })
+                for w, e0, e1 in shards
+            ])
+            return out.copy()
+
+        return self._supervised(
+            "stable_key_argsort", attempt,
+            lambda: self._numpy.stable_key_argsort(key, key_bound),
         )
-        d_key = arena.put(key)
-        counts, d_counts = arena.alloc((self.workers, bound), np.int64)
-        starts, d_starts = arena.alloc((self.workers, bound), np.int64)
-        out, d_out = arena.alloc(n, np.int64)
-        cuts = _range_cuts(n, self.workers)
-        shards = [
-            (w, cuts[w], cuts[w + 1])
-            for w in range(self.workers) if cuts[w + 1] > cuts[w]
-        ]
-        self._run([
-            (w, "bincount", {
-                "key": d_key, "counts": d_counts, "row": w, "e0": e0, "e1": e1,
-            })
-            for w, e0, e1 in shards
-        ])
-        for w in range(self.workers):
-            if cuts[w + 1] == cuts[w]:
-                counts[w, :] = 0
-        # Write starts: global exclusive rank of (worker, key) in stable
-        # order — key-major, worker-minor, then in-shard arrival order.
-        col_tot = counts.sum(axis=0)
-        base = np.cumsum(col_tot) - col_tot
-        np.cumsum(counts, axis=0, out=starts)
-        starts -= counts
-        starts += base[None, :]
-        self._run([
-            (w, "rank_scatter", {
-                "key": d_key, "counts": d_counts, "starts": d_starts,
-                "out": d_out, "row": w, "e0": e0, "e1": e1,
-                "key_bound": bound,
-            })
-            for w, e0, e1 in shards
-        ])
-        return out.copy()
 
     def stable_two_key_argsort(
         self,
@@ -830,7 +1024,11 @@ class SharedMemBackend(KernelBackend):
         major = np.asarray(major)
         minor = np.asarray(minor)
         n = int(major.size)
-        if n < self.min_parallel_elements or self.workers <= 1:
+        if (
+            n < self.min_parallel_elements
+            or self.workers <= 1
+            or self._degraded is not None
+        ):
             self._count("stable_two_key_argsort", False)
             return self._numpy.stable_two_key_argsort(
                 major, minor, major_bound, minor_bound
@@ -866,27 +1064,31 @@ class SharedMemBackend(KernelBackend):
         ):
             self._count("gather", False)
             return self._numpy.gather(values, indices)
-        self._count("gather", True)
-        self._ensure_pool()
-        arena = self._arena
-        arena.begin(
-            _aligned(values.nbytes) + _aligned(indices.nbytes)
-            + _aligned(n * values.dtype.itemsize) + 4 * _ALIGN
+        def attempt() -> np.ndarray:
+            self._ensure_pool()
+            arena = self._arena
+            arena.begin(
+                _aligned(values.nbytes) + _aligned(indices.nbytes)
+                + _aligned(n * values.dtype.itemsize) + 4 * _ALIGN
+            )
+            d_vals = arena.put(values)
+            d_idx = arena.put(indices)
+            out, d_out = arena.alloc(n, values.dtype)
+            cuts = _range_cuts(n, self.workers)
+            tasks = []
+            for w in range(self.workers):
+                e0, e1 = cuts[w], cuts[w + 1]
+                if e1 > e0:
+                    tasks.append((w, "gather", {
+                        "values": d_vals, "indices": d_idx, "out": d_out,
+                        "e0": e0, "e1": e1,
+                    }))
+            self._run(tasks)
+            return out.copy()
+
+        return self._supervised(
+            "gather", attempt, lambda: self._numpy.gather(values, indices)
         )
-        d_vals = arena.put(values)
-        d_idx = arena.put(indices)
-        out, d_out = arena.alloc(n, values.dtype)
-        cuts = _range_cuts(n, self.workers)
-        tasks = []
-        for w in range(self.workers):
-            e0, e1 = cuts[w], cuts[w + 1]
-            if e1 > e0:
-                tasks.append((w, "gather", {
-                    "values": d_vals, "indices": d_idx, "out": d_out,
-                    "e0": e0, "e1": e1,
-                }))
-        self._run(tasks)
-        return out.copy()
 
     def take_ranges(
         self, values: np.ndarray, starts: np.ndarray, lengths: np.ndarray
@@ -906,28 +1108,34 @@ class SharedMemBackend(KernelBackend):
         ):
             self._count("take_ranges", False)
             return self._numpy.take_ranges(values, starts, lengths)
-        self._count("take_ranges", True)
-        self._ensure_pool()
-        arena = self._arena
-        arena.begin(
-            _aligned(values.nbytes) + _aligned(starts.nbytes)
-            + _aligned(lengths.nbytes)
-            + _aligned(total * values.dtype.itemsize) + 8 * _ALIGN
+        def attempt() -> np.ndarray:
+            self._ensure_pool()
+            arena = self._arena
+            arena.begin(
+                _aligned(values.nbytes) + _aligned(starts.nbytes)
+                + _aligned(lengths.nbytes)
+                + _aligned(total * values.dtype.itemsize) + 8 * _ALIGN
+            )
+            d_vals = arena.put(values)
+            d_starts = arena.put(starts)
+            d_lens = arena.put(lengths)
+            out, d_out = arena.alloc(total, values.dtype)
+            prefix = np.zeros(lengths.size + 1, dtype=np.int64)
+            np.cumsum(lengths, out=prefix[1:])
+            cuts = _weighted_cuts(prefix, self.workers)
+            tasks = []
+            for w in range(self.workers):
+                r0, r1 = int(cuts[w]), int(cuts[w + 1])
+                if r1 > r0 and prefix[r1] > prefix[r0]:
+                    tasks.append((w, "take_ranges", {
+                        "values": d_vals, "starts": d_starts,
+                        "lengths": d_lens, "out": d_out,
+                        "r0": r0, "r1": r1, "o0": int(prefix[r0]),
+                    }))
+            self._run(tasks)
+            return out.copy()
+
+        return self._supervised(
+            "take_ranges", attempt,
+            lambda: self._numpy.take_ranges(values, starts, lengths),
         )
-        d_vals = arena.put(values)
-        d_starts = arena.put(starts)
-        d_lens = arena.put(lengths)
-        out, d_out = arena.alloc(total, values.dtype)
-        prefix = np.zeros(lengths.size + 1, dtype=np.int64)
-        np.cumsum(lengths, out=prefix[1:])
-        cuts = _weighted_cuts(prefix, self.workers)
-        tasks = []
-        for w in range(self.workers):
-            r0, r1 = int(cuts[w]), int(cuts[w + 1])
-            if r1 > r0 and prefix[r1] > prefix[r0]:
-                tasks.append((w, "take_ranges", {
-                    "values": d_vals, "starts": d_starts, "lengths": d_lens,
-                    "out": d_out, "r0": r0, "r1": r1, "o0": int(prefix[r0]),
-                }))
-        self._run(tasks)
-        return out.copy()

@@ -1,0 +1,313 @@
+"""Supervised worker pool: liveness, deadlines, respawn, bounded retry.
+
+The shared-memory backend's original pool was a bare list of processes and
+pipes: the parent blocked on ``conn.recv()`` forever, so a SIGKILL'd or
+OOM'd worker hung the whole run, and any pipe error aborted it.  This
+module wraps the same processes in a supervisor that makes worker death a
+*recoverable* event:
+
+* **Per-call deadline** — the parent polls the result pipe in short slices
+  (``conn.poll``) instead of blocking, checking worker liveness between
+  slices; an optional wall-clock timeout per dispatch round turns a stuck
+  worker into a failure instead of a hang.
+* **Liveness detection** — ``proc.is_alive()`` plus EOF on the pipe; a
+  dead worker is detected within one poll slice.
+* **Automatic respawn** — a dead (or timed-out, then killed) worker is
+  replaced by a fresh process attached to the *same* arena file; the
+  arena path never changes, so respawned workers map the already-written
+  call regions and can re-execute the failed shard directly.
+* **Bounded re-dispatch** — the failed shard tasks are re-sent (to the
+  respawned workers) up to ``max_shard_retries`` times.  Kernels are pure
+  functions of the arena inputs and write only their own shard's output
+  region, so a retry is byte-identical to an undisturbed execution.
+* **Escalating shutdown** — ``close()`` walks quit-message → ``join`` →
+  ``terminate`` → ``kill`` so a wedged worker cannot leak past interpreter
+  exit (the backend guarantees the arena unlink separately).
+
+When the retry budget is exhausted the supervisor raises
+:class:`PoolFailureError`; the backend catches it, recomputes the kernel
+inline on the numpy reference (still byte-identical) and — after enough
+consecutive pool failures — demotes itself to inline execution for good.
+Deterministic worker-side *errors* (validation raises inside a kernel) are
+not retried: the kernels are pure, so the retry would fail identically;
+they surface as :class:`WorkerKernelError` exactly like the old behaviour.
+
+Chaos injection (``REPRO_CHAOS`` — see :mod:`repro.chaos`) hooks in here:
+the supervisor SIGKILLs one of its own workers after dispatching a round,
+which is indistinguishable from a real OOM kill to the recovery machinery.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.chaos import ChaosState
+
+#: One poll slice: how long the parent sleeps in ``conn.poll`` before
+#: re-checking worker liveness.  Death detection latency is bounded by it.
+_POLL_S = 0.05
+
+#: Counter keys every supervisor exposes (all start at zero).
+RECOVERY_COUNTERS = (
+    "worker_deaths",
+    "respawns",
+    "shard_retries",
+    "call_timeouts",
+    "pool_failures",
+    "chaos_kills",
+)
+
+
+class PoolFailureError(RuntimeError):
+    """The pool could not complete a dispatch round within its retry budget."""
+
+
+class WorkerKernelError(RuntimeError):
+    """A kernel raised *inside* a worker (deterministic — never retried)."""
+
+
+class SupervisedPool:
+    """A fixed-size pool of kernel workers with supervision.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  Task worker indices passed to :meth:`run` must be in
+        ``range(workers)``.
+    arena_path:
+        Path of the shared arena file every (re)spawned worker maps.
+    worker_target:
+        The worker main function, called as ``worker_target(conn,
+        arena_path)`` in the child process.
+    call_timeout:
+        Optional per-dispatch-round wall-clock deadline in seconds.  On
+        expiry the still-pending workers are killed, respawned and their
+        shards re-dispatched (counted under ``call_timeouts``).
+    max_shard_retries:
+        How many times a failed shard may be re-dispatched before the
+        round raises :class:`PoolFailureError`.
+    chaos:
+        Optional :class:`~repro.chaos.ChaosState` whose ``kill_worker``
+        draw SIGKILLs one worker per dispatch round (testing hook).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        arena_path: str,
+        worker_target: Callable,
+        call_timeout: Optional[float] = None,
+        max_shard_retries: int = 2,
+        chaos: Optional[ChaosState] = None,
+    ):
+        import multiprocessing as mp
+
+        try:
+            self._ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX hosts
+            self._ctx = mp.get_context("spawn")
+        self.workers = int(workers)
+        self.arena_path = arena_path
+        self.worker_target = worker_target
+        self.call_timeout = call_timeout
+        self.max_shard_retries = int(max_shard_retries)
+        self.chaos = chaos
+        self.counters: Dict[str, int] = {k: 0 for k in RECOVERY_COUNTERS}
+        self._procs: List[object] = [None] * self.workers
+        self._conns: List[object] = [None] * self.workers
+        for w in range(self.workers):
+            self._spawn(w)
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, widx: int) -> None:
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=self.worker_target,
+            args=(child, self.arena_path),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        self._procs[widx] = proc
+        self._conns[widx] = parent
+
+    def _respawn(self, widx: int) -> None:
+        """Replace a dead/stuck worker with a fresh one on the same arena."""
+        proc = self._procs[widx]
+        conn = self._conns[widx]
+        if proc is not None and proc.is_alive():
+            # Stuck (deadline expiry): a SIGKILL cannot be ignored the way
+            # the old close()'s terminate() could.
+            proc.kill()
+            proc.join(timeout=5)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        self._spawn(widx)
+        self.counters["respawns"] += 1
+
+    def procs(self) -> List[object]:
+        """The live worker process objects (tests kill them directly)."""
+        return list(self._procs)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def run(self, tasks: List[Tuple[int, str, dict]], arena_size: int) -> None:
+        """Execute one round of shard tasks; heal and retry on worker death.
+
+        ``tasks`` is a list of ``(worker_index, kernel_name, payload)``
+        with at most one task per worker index.  Raises
+        :class:`WorkerKernelError` on a deterministic in-kernel exception
+        and :class:`PoolFailureError` once ``max_shard_retries`` is spent.
+        """
+        pending = list(tasks)
+        last_failure = "no failure recorded"
+        for attempt in range(self.max_shard_retries + 1):
+            if attempt > 0:
+                self.counters["shard_retries"] += len(pending)
+            pending, last_failure = self._dispatch_round(pending, arena_size)
+            if not pending:
+                return
+        self.counters["pool_failures"] += 1
+        raise PoolFailureError(
+            f"sharedmem pool failed a dispatch round {self.max_shard_retries + 1} "
+            f"times; last failure: {last_failure}"
+        )
+
+    def _dispatch_round(
+        self, tasks: List[Tuple[int, str, dict]], arena_size: int
+    ) -> Tuple[List[Tuple[int, str, dict]], str]:
+        """Send + collect one attempt; returns (failed tasks, last reason)."""
+        failed: List[Tuple[int, str, dict]] = []
+        reason = "no failure recorded"
+        sent: List[Tuple[int, str, dict]] = []
+        for task in tasks:
+            widx, name, payload = task
+            proc = self._procs[widx]
+            if proc is None or not proc.is_alive():
+                # Died between rounds (or a previous round's casualty that
+                # held no task then): heal before sending.
+                self.counters["worker_deaths"] += 1
+                self._respawn(widx)
+            try:
+                self._conns[widx].send((name, arena_size, payload))
+            except (BrokenPipeError, OSError):
+                self.counters["worker_deaths"] += 1
+                self._respawn(widx)
+                failed.append(task)
+                reason = f"worker {widx} pipe broke while sending {name!r}"
+                continue
+            sent.append(task)
+        if sent and self.chaos is not None:
+            victim = self.chaos.kill_worker(self.workers)
+            if victim is not None:
+                proc = self._procs[victim]
+                if proc is not None and proc.pid is not None:
+                    self.counters["chaos_kills"] += 1
+                    try:
+                        os.kill(proc.pid, signal.SIGKILL)
+                    except (OSError, ProcessLookupError):  # pragma: no cover
+                        pass
+        deadline = (
+            None if self.call_timeout is None
+            else time.monotonic() + self.call_timeout
+        )
+        errors: List[str] = []
+        for task in sent:
+            widx, name, _ = task
+            status, detail = self._recv(widx, deadline)
+            if status == "ok":
+                continue
+            if status == "err":
+                errors.append(f"[worker {widx}, kernel {name}]\n{detail}")
+                continue
+            if status == "timeout":
+                self.counters["call_timeouts"] += 1
+                reason = (
+                    f"worker {widx} missed the {self.call_timeout}s deadline "
+                    f"on {name!r}"
+                )
+            else:  # died
+                self.counters["worker_deaths"] += 1
+                reason = f"worker {widx} died executing {name!r}"
+            self._respawn(widx)
+            failed.append(task)
+        if errors:
+            # Deterministic kernel-level exception: retrying a pure kernel
+            # reproduces it, so surface it to the caller unchanged.
+            raise WorkerKernelError(
+                "sharedmem backend worker failed:\n" + "\n".join(errors)
+            )
+        return failed, reason
+
+    def _recv(self, widx: int, deadline: Optional[float]):
+        """Poll one worker's pipe with liveness checks and a deadline."""
+        conn = self._conns[widx]
+        proc = self._procs[widx]
+        while True:
+            wait = _POLL_S
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return ("timeout", None)
+                wait = min(wait, remaining)
+            try:
+                if conn.poll(wait):
+                    return conn.recv()
+            except (EOFError, OSError):
+                return ("died", None)
+            if not proc.is_alive():
+                # Drain a result that raced the death (worker answered,
+                # then exited/was killed before we polled).
+                try:
+                    if conn.poll(0):
+                        return conn.recv()
+                except (EOFError, OSError):
+                    pass
+                return ("died", None)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker, escalating quit → join → terminate → kill.
+
+        Never raises: each step is best-effort and the escalation
+        guarantees no process outlives the pool (the old shutdown stopped
+        at an ignorable ``terminate()`` and could leak both the process
+        and, through the caller aborting, the /dev/shm arena file).
+        """
+        for conn in self._conns:
+            if conn is None:
+                continue
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            if proc is None:
+                continue
+            proc.join(timeout=2)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2)
+            if proc.is_alive():  # terminate() ignored/blocked: escalate
+                proc.kill()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            if conn is None:
+                continue
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        self._procs = [None] * self.workers
+        self._conns = [None] * self.workers

@@ -32,7 +32,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -235,16 +237,24 @@ def run_cell(cell: CampaignCell) -> Dict[str, object]:
 # ----------------------------------------------------------------------
 # Disk cache
 # ----------------------------------------------------------------------
+def _summary_checksum(summary: Mapping[str, object]) -> str:
+    """SHA-256 over the canonical JSON of a cell summary."""
+    return hashlib.sha256(_canonical_json(dict(summary)).encode()).hexdigest()
+
+
 class CellCache:
-    """One JSON file per cell summary, written atomically.
+    """One JSON file per cell summary, written atomically and checksummed.
 
     The file name is the content hash (:func:`cell_key`), so a cache
     directory can be shared between profiles and survives interrupted
     campaigns: completed cells are flushed as they finish, and a re-run only
     executes the missing ones.  Clock-model changes must bump
     :data:`RNG_VERSION`, which changes every key and therefore invalidates
-    the whole cache.  Any unreadable, stale or schema-incomplete entry is a
-    miss (the cell re-executes), never an error.
+    the whole cache.  Every document embeds a SHA-256 checksum of its
+    summary, so a truncated or bit-flipped file is *detected* — it becomes
+    a counted ``corrupt`` miss and the cell recomputes; cached bytes are
+    never trusted on parseability alone.  Any unreadable, stale or
+    schema-incomplete entry is likewise a miss, never an error.
     """
 
     def __init__(self, root: "Path | str"):
@@ -254,15 +264,44 @@ class CellCache:
         return self.root / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict[str, object]]:
+        return self.get_with_status(key)[0]
+
+    def get_with_status(
+        self, key: str
+    ) -> Tuple[Optional[Dict[str, object]], str]:
+        """``(summary or None, status)`` for one cache entry.
+
+        Status is ``"hit"``, ``"miss"`` (no entry), ``"stale"`` (readable
+        but from another RNG generation or a pre-checksum writer — silently
+        recompute) or ``"corrupt"`` (bytes cannot be trusted: unparseable,
+        schema-broken or checksum mismatch — recompute *and report*).
+        """
         path = self.path(key)
         try:
-            doc = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None
-        if not isinstance(doc, dict) or doc.get("rng_version") != RNG_VERSION:
-            return None
+            text = path.read_text()
+        except FileNotFoundError:
+            return None, "miss"
+        except (OSError, UnicodeDecodeError):
+            # Unreadable or bit-flipped into invalid UTF-8: corrupt bytes.
+            return None, "corrupt"
+        try:
+            doc = json.loads(text)
+        except ValueError:
+            return None, "corrupt"
+        if not isinstance(doc, dict):
+            return None, "corrupt"
+        if doc.get("rng_version") != RNG_VERSION:
+            return None, "stale"
         summary = doc.get("summary")
-        return summary if isinstance(summary, dict) else None
+        if not isinstance(summary, dict):
+            return None, "corrupt"
+        checksum = doc.get("checksum")
+        if checksum is None:
+            # Pre-checksum cache generation: recompute without alarm.
+            return None, "stale"
+        if checksum != _summary_checksum(summary):
+            return None, "corrupt"
+        return summary, "hit"
 
     def put(self, key: str, cell: CampaignCell, summary: Mapping[str, object]) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
@@ -270,6 +309,7 @@ class CellCache:
             "rng_version": RNG_VERSION,
             "spec": cell.to_dict(),
             "summary": dict(summary),
+            "checksum": _summary_checksum(summary),
         }
         tmp = self.root / f".{key}.{os.getpid()}.tmp"
         tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
@@ -536,13 +576,63 @@ def expand_campaign(
 # ----------------------------------------------------------------------
 # Execution (serial or sharded)
 # ----------------------------------------------------------------------
+class CellTimeoutError(RuntimeError):
+    """A cell exceeded its wall-clock budget (beyond-tier safety valve)."""
+
+
+def _run_cell_guarded(
+    cell: CampaignCell, timeout_s: Optional[float] = None
+) -> Dict[str, object]:
+    """:func:`run_cell` under an optional SIGALRM wall-clock deadline.
+
+    Module level (picklable) so sharded campaigns submit it to pool
+    workers; the itimer fires in the executing process's main thread, which
+    is exactly where :class:`ProcessPoolExecutor` workers run their tasks.
+    Wall-clock only — modelled time is untouched, and a cell that finishes
+    in budget produces the same summary with or without the guard.
+    """
+    if not timeout_s:
+        return run_cell(cell)
+    import signal
+
+    def _on_alarm(signum, frame):
+        raise CellTimeoutError(
+            f"cell {cell_key(cell)} ({cell.experiment}, p={cell.p}, "
+            f"workload={cell.workload}) exceeded its {timeout_s}s "
+            "wall-clock budget"
+        )
+
+    old = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+    try:
+        return run_cell(cell)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old)
+
+
+def _cell_desc(cell: CampaignCell) -> str:
+    return (
+        f"{cell.experiment} {cell.algorithm} p={cell.p} n/p={cell.n_per_pe} "
+        f"k={cell.levels} {cell.workload} rep={cell.repetition}"
+    )
+
+
+#: Exponential backoff before a cell retry: 0.1 s doubling, capped at 2 s.
+_BACKOFF_BASE_S = 0.1
+_BACKOFF_CAP_S = 2.0
+
+
 def execute_cells(
     cells: Sequence[CampaignCell],
     jobs: int = 1,
     cache: Optional[CellCache] = None,
     resume: bool = True,
     progress: Optional[Callable[[str], None]] = None,
-) -> Tuple[Dict[str, Dict[str, object]], Dict[str, int]]:
+    retries: int = 2,
+    strict: bool = False,
+    cell_timeout_s: Optional[float] = None,
+) -> Tuple[Dict[str, Dict[str, object]], Dict[str, object]]:
     """Run every cell (or fetch it from the cache); returns summaries + stats.
 
     Summaries are keyed by :func:`cell_key`.  With ``jobs > 1`` the pending
@@ -550,8 +640,31 @@ def execute_cells(
     derived seed, the summaries are byte-identical to serial execution
     regardless of completion order.  Completed cells are flushed to the cache
     as they finish, so an interrupted campaign resumes where it stopped.
+
+    **Fault tolerance.**  A failing cell is retried up to ``retries`` times
+    with exponential backoff; a cell that keeps failing is *quarantined* —
+    skipped, reported in ``stats['quarantined_cells']`` — instead of
+    aborting the campaign (``strict=True`` restores fail-fast on the first
+    error).  A crash of a pool worker process (``BrokenProcessPool``)
+    rebuilds the pool and charges one attempt to every cell that had not
+    finished in that round, which bounds the damage a deterministically
+    crashing cell can do: it exhausts its own budget within ``retries + 1``
+    rebuilds and is quarantined.  ``cell_timeout_s`` puts a wall-clock
+    ceiling on each cell (for beyond-tier rows), enforced via SIGALRM in
+    the executing process.  Corrupt cache entries (checksum mismatch,
+    truncation) are counted in ``stats['cache_corrupt']``, warned about
+    once with the offending path, and recomputed.
     """
-    stats = {"cells": len(cells), "executed": 0, "cache_hits": 0}
+    stats: Dict[str, object] = {
+        "cells": len(cells),
+        "executed": 0,
+        "cache_hits": 0,
+        "cache_corrupt": 0,
+        "cell_retries": 0,
+        "pool_rebuilds": 0,
+        "quarantined": 0,
+        "quarantined_cells": [],
+    }
     summaries: Dict[str, Dict[str, object]] = {}
     pending: List[Tuple[str, CampaignCell]] = []
     pending_keys = set()
@@ -559,7 +672,16 @@ def execute_cells(
         key = cell_key(cell)
         if key in summaries or key in pending_keys:
             continue
-        cached = cache.get(key) if (cache is not None and resume) else None
+        cached: Optional[Dict[str, object]] = None
+        if cache is not None and resume:
+            cached, status = cache.get_with_status(key)
+            if status == "corrupt":
+                stats["cache_corrupt"] += 1
+                if progress is not None:
+                    progress(
+                        f"warning: corrupt cache entry {cache.path(key)} "
+                        "(checksum/parse failure) — recomputing"
+                    )
         if cached is not None:
             summaries[key] = cached
             stats["cache_hits"] += 1
@@ -567,11 +689,19 @@ def execute_cells(
             pending.append((key, cell))
             pending_keys.add(key)
 
+    from repro.chaos import get_chaos
+
     def _finish(key: str, cell: CampaignCell, summary: Dict[str, object]) -> None:
         summaries[key] = summary
         stats["executed"] += 1
         if cache is not None:
             cache.put(key, cell, summary)
+            chaos = get_chaos()
+            if chaos is not None:
+                # Deterministic chaos: attack the just-written bytes.  The
+                # in-memory summary is already recorded, so this campaign
+                # is unaffected; the *next* resume must detect the damage.
+                chaos.maybe_corrupt_cache(cache.path(key))
         if progress is not None:
             done = stats["executed"] + stats["cache_hits"]
             progress(
@@ -580,15 +710,84 @@ def execute_cells(
                 f"k={cell.levels} {cell.workload} rep={cell.repetition}"
             )
 
-    if jobs <= 1 or not pending:
-        for key, cell in pending:
-            _finish(key, cell, run_cell(cell))
-    else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {pool.submit(run_cell, cell): (key, cell) for key, cell in pending}
-            for future in as_completed(futures):
-                key, cell = futures[future]
-                _finish(key, cell, future.result())
+    attempts: Dict[str, int] = {key: 0 for key, _ in pending}
+
+    def _charge_failure(
+        key: str, cell: CampaignCell, reason: str,
+        retry_round: List[Tuple[str, CampaignCell]],
+    ) -> None:
+        """One failed attempt: requeue the cell or quarantine it."""
+        attempts[key] += 1
+        if attempts[key] > max(0, int(retries)):
+            stats["quarantined"] += 1
+            stats["quarantined_cells"].append(
+                {"cell": _cell_desc(cell), "key": key, "reason": reason}
+            )
+            if progress is not None:
+                progress(
+                    f"warning: quarantined {_cell_desc(cell)} after "
+                    f"{attempts[key]} attempts: {reason}"
+                )
+        else:
+            stats["cell_retries"] += 1
+            retry_round.append((key, cell))
+
+    todo = list(pending)
+    round_idx = 0
+    while todo:
+        if round_idx > 0:
+            time.sleep(min(_BACKOFF_BASE_S * 2 ** (round_idx - 1), _BACKOFF_CAP_S))
+        round_idx += 1
+        retry_round: List[Tuple[str, CampaignCell]] = []
+        if jobs <= 1:
+            for key, cell in todo:
+                try:
+                    summary = _run_cell_guarded(cell, cell_timeout_s)
+                except Exception as exc:
+                    if strict:
+                        raise
+                    _charge_failure(key, cell, repr(exc), retry_round)
+                else:
+                    _finish(key, cell, summary)
+        else:
+            pool = ProcessPoolExecutor(max_workers=jobs)
+            try:
+                futures = {
+                    pool.submit(_run_cell_guarded, cell, cell_timeout_s): (key, cell)
+                    for key, cell in todo
+                }
+                unfinished = dict(futures)
+                for future in as_completed(futures):
+                    key, cell = futures[future]
+                    try:
+                        summary = future.result()
+                    except BrokenProcessPool:
+                        # The pool is gone: every cell still unfinished in
+                        # this round failed with it.  Rebuild and charge
+                        # each one attempt — bounded, because the true
+                        # crasher exhausts its own budget within
+                        # ``retries + 1`` rebuilds.
+                        if strict:
+                            raise
+                        stats["pool_rebuilds"] += 1
+                        for okey, ocell in unfinished.values():
+                            _charge_failure(
+                                okey, ocell,
+                                "worker process crashed (BrokenProcessPool)",
+                                retry_round,
+                            )
+                        break
+                    except Exception as exc:
+                        if strict:
+                            raise
+                        unfinished.pop(future, None)
+                        _charge_failure(key, cell, repr(exc), retry_round)
+                    else:
+                        unfinished.pop(future, None)
+                        _finish(key, cell, summary)
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+        todo = retry_round
     return summaries, stats
 
 
@@ -836,14 +1035,21 @@ _AGGREGATORS = {
 def aggregate_cells(
     cells: Sequence[CampaignCell], summaries: Mapping[str, Mapping[str, object]]
 ) -> Dict[str, Dict[str, List[Dict[str, object]]]]:
-    """Reduce cell summaries to per-experiment row tables (paper order)."""
+    """Reduce cell summaries to per-experiment row tables (paper order).
+
+    Cells without a summary (quarantined after repeated execution-layer
+    failures) are skipped: a broken host must cost rows, never the whole
+    campaign.
+    """
     out: Dict[str, Dict[str, List[Dict[str, object]]]] = {}
     for experiment in CAMPAIGN_EXPERIMENTS:
-        pairs = [
-            (cell, dict(summaries[cell_key(cell)]))
-            for cell in cells
-            if cell.experiment == experiment
-        ]
+        pairs = []
+        for cell in cells:
+            if cell.experiment != experiment:
+                continue
+            summary = summaries.get(cell_key(cell))
+            if summary is not None:
+                pairs.append((cell, dict(summary)))
         if pairs:
             out[experiment] = _AGGREGATORS[experiment](pairs)
     return out
@@ -870,7 +1076,10 @@ def run_campaign(
     resume: bool = True,
     progress: Optional[Callable[[str], None]] = None,
     fault_specs: Optional[Sequence[str]] = None,
-) -> Tuple[Dict[str, object], Dict[str, int]]:
+    retries: int = 2,
+    strict: bool = False,
+    cell_timeout_s: Optional[float] = None,
+) -> Tuple[Dict[str, object], Dict[str, object]]:
     """Expand, execute (sharded if ``jobs > 1``) and aggregate a campaign.
 
     Returns ``(summary, stats)``.  The summary contains only deterministic
@@ -878,17 +1087,24 @@ def run_campaign(
     cache statistics — so two runs of the same campaign serialize to
     byte-identical JSON regardless of ``jobs`` and of how much came from the
     cache.  The stats dict carries the run-dependent part: cells executed vs
-    served from cache.  ``fault_specs`` overrides the fault-spec ladder of
-    the ``"faults"`` experiment (the healthy ``""`` baseline is always
-    included).
+    served from cache, plus the recovery accounting of
+    :func:`execute_cells` (retries, quarantines, corrupt cache entries).
+    ``fault_specs`` overrides the fault-spec ladder of the ``"faults"``
+    experiment (the healthy ``""`` baseline is always included).
+    ``cell_timeout_s`` defaults to the profile's ``cell_timeout_s`` entry
+    (set for the beyond tier, whose single rows can run for minutes).
     """
     name, prof = _resolve_profile(profile)
     if fault_specs is not None:
         prof["fault_specs"] = tuple(fault_specs)
+    if cell_timeout_s is None:
+        raw_timeout = prof.get("cell_timeout_s")
+        cell_timeout_s = float(raw_timeout) if raw_timeout else None
     cells = expand_campaign(prof, experiments=experiments, workloads=workloads)
     cache = CellCache(cache_dir) if cache_dir is not None else None
     summaries, stats = execute_cells(
-        cells, jobs=jobs, cache=cache, resume=resume, progress=progress
+        cells, jobs=jobs, cache=cache, resume=resume, progress=progress,
+        retries=retries, strict=strict, cell_timeout_s=cell_timeout_s,
     )
     used_experiments = tuple(dict.fromkeys(c.experiment for c in cells))
     used_workloads = tuple(dict.fromkeys(c.workload for c in cells))

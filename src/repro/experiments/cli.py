@@ -110,6 +110,31 @@ def campaign_main(argv: List[str] | None = None) -> int:
              "'stragglers:0.1' 'droprate:0.01' (the healthy '' baseline is "
              "always included; see repro.sim.faults for the grammar)",
     )
+    parser.add_argument(
+        "--retries", type=int, default=2,
+        help="per-cell retry budget before quarantine (default: 2)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail fast on the first cell error instead of retry/quarantine",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per cell (default: the profile's "
+             "cell_timeout_s, set for the 'beyond' tier)",
+    )
+    parser.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="deterministic chaos injection for the execution layer, e.g. "
+             "'seed:7,kill:0.3,corrupt:0.2' (exported as REPRO_CHAOS; see "
+             "repro.chaos for the grammar — results stay byte-identical)",
+    )
+    parser.add_argument(
+        "--stats-output", type=Path, default=None,
+        help="write the run stats (cache hits, retries, quarantines, "
+             "recovery counters) as JSON — the non-deterministic sibling "
+             "of --output",
+    )
     parser.add_argument("--quiet", action="store_true", help="no per-cell progress")
     args = parser.parse_args(argv)
 
@@ -118,6 +143,14 @@ def campaign_main(argv: List[str] | None = None) -> int:
 
         for spec in args.faults:
             parse_fault_spec(spec)  # fail fast on bad grammar
+
+    if args.chaos is not None:
+        import os
+
+        from repro.chaos import parse_chaos_spec
+
+        parse_chaos_spec(args.chaos)  # fail fast on bad grammar
+        os.environ["REPRO_CHAOS"] = args.chaos  # workers + backend inherit
 
     if args.require_cached and (args.no_cache or args.no_resume):
         parser.error(
@@ -152,17 +185,52 @@ def campaign_main(argv: List[str] | None = None) -> int:
         resume=not args.no_resume,
         progress=progress,
         fault_specs=args.faults,
+        retries=args.retries,
+        strict=args.strict,
+        cell_timeout_s=args.cell_timeout,
     )
+
+    # Fold in the execution-infrastructure recovery counters so a chaos or
+    # degraded run is visible in the stats artifact: chaos injections from
+    # this process, and — for serial runs — the active backend's supervisor
+    # counters (sharded campaigns execute cells in worker processes whose
+    # backends die with them).
+    from repro.chaos import get_chaos
+    from repro.dist.backend import current_backend
+
+    chaos = get_chaos()
+    if chaos is not None:
+        stats["chaos"] = dict(chaos.counters)
+    backend_obj = current_backend()
+    if hasattr(backend_obj, "supervisor_stats"):
+        stats["backend_supervisor"] = backend_obj.supervisor_stats()
+        stats["backend_effective"] = backend_obj.effective_name()
 
     print(campaign_mod.format_campaign(summary))
     print(
         f"\ncampaign stats: cells={stats['cells']} executed={stats['executed']} "
-        f"cache_hits={stats['cache_hits']}"
+        f"cache_hits={stats['cache_hits']} "
+        f"cache_corrupt={stats['cache_corrupt']} "
+        f"retries={stats['cell_retries']} quarantined={stats['quarantined']}"
     )
     if args.output is not None:
         args.output.parent.mkdir(parents=True, exist_ok=True)
         args.output.write_text(campaign_mod.campaign_to_json(summary))
         print(f"wrote {args.output}")
+    if args.stats_output is not None:
+        import json
+
+        args.stats_output.parent.mkdir(parents=True, exist_ok=True)
+        args.stats_output.write_text(
+            json.dumps(stats, indent=2, sort_keys=True, default=str) + "\n"
+        )
+        print(f"wrote {args.stats_output}")
+    if stats["quarantined"]:
+        print(
+            f"warning: {stats['quarantined']} cells quarantined after "
+            "repeated failures — their rows are missing from the summary",
+            file=sys.stderr,
+        )
     if args.require_cached and stats["executed"] > 0:
         print(
             f"FAIL: --require-cached but {stats['executed']} cells executed "

@@ -88,6 +88,10 @@ SCALE_PROFILES: Dict[str, Dict[str, object]] = {
         "workloads": ("uniform",),
         "validate_max_p": 1024,
         "reference_max_p": 1024,
+        # Beyond-tier rows are single multi-minute simulations; a wedged
+        # one (host swap death spiral) must fail the cell, not the run.
+        # Generous: the p = 2^20 row takes ~2-3 minutes on one core.
+        "cell_timeout_s": 1800.0,
     },
 }
 

@@ -128,6 +128,10 @@ class SimulatedMachine:
         self.wall_profile: Optional[dict] = None
         self._wall_mark: Optional[float] = None
         #: Default kernel backend (spec or instance) for runs on this machine.
+        if isinstance(backend, str):
+            from repro.dist.backend import validate_backend_spec
+
+            validate_backend_spec(backend, source="backend spec")
         self.backend = backend
         #: Name of the backend the most recent ``run_on_machine`` executed
         #: with — what the wall-profile attribution tooling reports.

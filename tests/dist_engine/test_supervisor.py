@@ -1,0 +1,291 @@
+"""Self-healing sharedmem pool: liveness, respawn, retry, degradation.
+
+Infrastructure faults here are *real* — SIGKILL'd worker processes, wedged
+workers that ignore SIGTERM, injected pool failures — and the contract
+under test is the robustness tentpole's: the backend must recover (respawn
++ bounded shard retry) or degrade to inline numpy execution, and in every
+case keep returning arrays byte-identical to the reference.  Modelled time
+and RNG streams are never involved: all of this is wall-clock machinery.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.chaos import ChaosPlan, ChaosState, parse_chaos_spec
+from repro.dist.backend import NumpyBackend, SharedMemBackend
+from repro.dist.backend.supervisor import PoolFailureError, WorkerKernelError
+
+REFERENCE = NumpyBackend()
+
+
+def fresh_backend(**kw):
+    kw.setdefault("workers", 2)
+    kw.setdefault("min_parallel_elements", 0)
+    return SharedMemBackend(**kw)
+
+
+def force_pool(backend):
+    """Run one sharded call so the supervised pool exists."""
+    backend.segmented_sort_values(
+        np.arange(10)[::-1].copy(), np.array([0, 5, 10], dtype=np.int64)
+    )
+    assert backend._pool is not None
+    return backend._pool
+
+
+class TestWorkerDeathRecovery:
+    def test_sigkill_between_calls_respawns_and_matches_reference(self):
+        backend = fresh_backend()
+        try:
+            rng = np.random.default_rng(0)
+            key = rng.integers(0, 64, size=50_000)
+            expect = REFERENCE.stable_key_argsort(key, 64)
+            assert np.array_equal(backend.stable_key_argsort(key, 64), expect)
+            victim = backend._pool.procs()[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join()
+            # The next call must detect the corpse, respawn, and still be
+            # byte-identical.
+            assert np.array_equal(backend.stable_key_argsort(key, 64), expect)
+            sup = backend.stats()["supervisor"]
+            assert sup["worker_deaths"] >= 1
+            assert sup["respawns"] >= 1
+            assert backend.effective_name() == "sharedmem"
+        finally:
+            backend.close()
+
+    def test_sigkill_mid_call_retries_shard(self):
+        backend = fresh_backend()
+        try:
+            pool = force_pool(backend)
+            # Park worker 0 on a long sleep, kill it mid-"kernel", and let
+            # the supervisor collect: the round must fail over, respawn,
+            # and the re-dispatched shard must succeed.
+            victim = pool.procs()[0]
+            pool._conns[0].send(("debug_sleep", backend._arena.size,
+                                 {"seconds": 60}))
+            time.sleep(0.2)
+            os.kill(victim.pid, signal.SIGKILL)
+            status, _ = pool._recv(0, deadline=None)
+            assert status == "died"
+            pool._respawn(0)
+            rng = np.random.default_rng(1)
+            values = rng.integers(0, 100, size=20_000)
+            offsets = np.array([0, 10_000, 20_000], dtype=np.int64)
+            got = backend.segmented_sort_values(values, offsets)
+            assert np.array_equal(
+                got, REFERENCE.segmented_sort_values(values, offsets)
+            )
+        finally:
+            backend.close()
+
+    def test_deterministic_kernel_error_raises_without_retry(self):
+        backend = fresh_backend()
+        try:
+            pool = force_pool(backend)
+            with pytest.raises(WorkerKernelError, match="worker failed"):
+                # Bogus descriptor: the worker-side kernel raises — a
+                # deterministic error, surfaced immediately, never retried.
+                pool.run(
+                    [(0, "gather", {"values": (0, "<i8", (4,)),
+                                    "indices": (0, "<i8", (4,)),
+                                    "out": None, "e0": 0, "e1": 4})],
+                    backend._arena.size,
+                )
+            assert pool.counters["shard_retries"] == 0
+        finally:
+            backend.close()
+
+
+class TestCallDeadline:
+    def test_stuck_worker_times_out_and_pool_recovers(self):
+        backend = fresh_backend(call_timeout_s=0.3, max_shard_retries=1)
+        try:
+            pool = force_pool(backend)
+            with pytest.raises(PoolFailureError, match="deadline"):
+                pool.run([(0, "debug_sleep", {"seconds": 60})],
+                         backend._arena.size)
+            assert pool.counters["call_timeouts"] >= 1
+            assert pool.counters["respawns"] >= 1
+            # The pool healed: real kernels keep working afterwards.
+            values = np.arange(1000)[::-1].copy()
+            offsets = np.array([0, 500, 1000], dtype=np.int64)
+            got = backend.segmented_sort_values(values, offsets)
+            assert np.array_equal(
+                got, REFERENCE.segmented_sort_values(values, offsets)
+            )
+        finally:
+            backend.close()
+
+
+class TestDegradation:
+    def _failing_backend(self, degrade_after=2):
+        backend = fresh_backend(max_shard_retries=0, degrade_after=degrade_after)
+        force_pool(backend)
+
+        def boom(tasks, arena_size):
+            raise PoolFailureError("injected pool failure")
+
+        backend._pool.run = boom
+        return backend
+
+    def test_consecutive_failures_demote_to_inline(self):
+        backend = self._failing_backend(degrade_after=2)
+        try:
+            rng = np.random.default_rng(2)
+            values = rng.integers(0, 50, size=20_000)
+            offsets = np.array([0, 10_000, 20_000], dtype=np.int64)
+            expect = REFERENCE.segmented_sort_values(values, offsets)
+            # Failure 1: falls back inline, still healthy name.
+            assert np.array_equal(
+                backend.segmented_sort_values(values, offsets), expect
+            )
+            assert backend.effective_name() == "sharedmem"
+            # Failure 2: crosses the threshold — demoted for good.
+            assert np.array_equal(
+                backend.segmented_sort_values(values, offsets), expect
+            )
+            assert backend.effective_name() == "sharedmem:degraded->numpy"
+            assert backend._pool is None  # reaped
+            # Further calls run inline without touching any pool.
+            assert np.array_equal(
+                backend.segmented_sort_values(values, offsets), expect
+            )
+            sup = backend.stats()["supervisor"]
+            assert sup["degraded"] is not None
+            assert sup["inline_fallbacks"] >= 3
+            stats = backend.stats()
+            assert stats["segmented_sort_values"]["inline"] >= 2
+        finally:
+            backend.close()
+
+    def test_success_resets_the_failure_streak(self):
+        backend = fresh_backend(max_shard_retries=0, degrade_after=2)
+        try:
+            rng = np.random.default_rng(3)
+            values = rng.integers(0, 50, size=20_000)
+            offsets = np.array([0, 10_000, 20_000], dtype=np.int64)
+            force_pool(backend)
+            real_run = backend._pool.run
+
+            def boom(tasks, arena_size):
+                raise PoolFailureError("injected")
+
+            backend._pool.run = boom
+            backend.segmented_sort_values(values, offsets)  # failure #1
+            backend._pool.run = real_run
+            backend.segmented_sort_values(values, offsets)  # success: reset
+            backend._pool.run = boom
+            backend.segmented_sort_values(values, offsets)  # failure #1 again
+            assert backend.effective_name() == "sharedmem"
+        finally:
+            backend.close()
+
+    def test_close_clears_degradation(self):
+        backend = self._failing_backend(degrade_after=1)
+        rng = np.random.default_rng(4)
+        values = rng.integers(0, 50, size=20_000)
+        offsets = np.array([0, 10_000, 20_000], dtype=np.int64)
+        backend.segmented_sort_values(values, offsets)
+        assert backend.effective_name() == "sharedmem:degraded->numpy"
+        backend.close()
+        assert backend.effective_name() == "sharedmem"
+        # And the pool restarts lazily, healthy.
+        got = backend.segmented_sort_values(values, offsets)
+        assert np.array_equal(
+            got, REFERENCE.segmented_sort_values(values, offsets)
+        )
+        assert backend.effective_name() == "sharedmem"
+        backend.close()
+
+
+class TestShutdownEscalation:
+    def test_wedged_worker_is_killed_and_arena_unlinked(self):
+        backend = fresh_backend()
+        pool = force_pool(backend)
+        arena_path = backend._arena.path
+        # Wedge worker 0: ignore SIGTERM, sleep far past every join budget.
+        pool._conns[0].send(("debug_sleep", backend._arena.size,
+                             {"seconds": 300, "ignore_sigterm": True}))
+        time.sleep(0.3)
+        procs = pool.procs()
+        t0 = time.monotonic()
+        backend.close()
+        elapsed = time.monotonic() - t0
+        for proc in procs:
+            assert not proc.is_alive()
+        assert not os.path.exists(arena_path)  # the /dev/shm leak is fixed
+        assert elapsed < 30.0
+
+    def test_close_without_pool_is_a_noop(self):
+        backend = fresh_backend()
+        backend.close()
+        backend.close()
+
+
+class TestChaosInjection:
+    def test_parse_chaos_spec_grammar(self):
+        assert parse_chaos_spec(None) is None
+        assert parse_chaos_spec("") is None
+        plan = parse_chaos_spec("seed:7,kill:0.25,corrupt:0.5,trunc:0.1")
+        assert plan == ChaosPlan(seed=7, kill_rate=0.25, corrupt_rate=0.5,
+                                 truncate_rate=0.1)
+        assert plan.enabled
+        assert not ChaosPlan(seed=3).enabled
+        with pytest.raises(ValueError, match="unknown key 'frobnicate'"):
+            parse_chaos_spec("frobnicate:1")
+        with pytest.raises(ValueError, match="kill needs a number"):
+            parse_chaos_spec("kill:lots")
+        with pytest.raises(ValueError, match=r"must be a rate in \[0, 1\]"):
+            parse_chaos_spec("corrupt:1.5")
+        with pytest.raises(ValueError, match="exceed 1"):
+            parse_chaos_spec("corrupt:0.7,trunc:0.7")
+
+    def test_draws_are_deterministic(self):
+        a = ChaosState(parse_chaos_spec("seed:11,kill:0.5"))
+        b = ChaosState(parse_chaos_spec("seed:11,kill:0.5"))
+        assert [a.kill_worker(4) for _ in range(20)] == [
+            b.kill_worker(4) for _ in range(20)
+        ]
+
+    def test_cache_corruption_keyed_by_name(self, tmp_path):
+        plan = parse_chaos_spec("seed:5,trunc:0.5,corrupt:0.5")
+        path = tmp_path / "abcdef.json"
+        path.write_text("x" * 100)
+        kind_one = ChaosState(plan).maybe_corrupt_cache(path)
+        path.write_text("x" * 100)
+        kind_two = ChaosState(plan).maybe_corrupt_cache(path)
+        assert kind_one == kind_two  # same name, same draw
+        assert kind_one in ("truncate", "corrupt")
+        assert path.read_bytes() != b"x" * 100
+
+    def test_worker_kills_recover_byte_identically(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "seed:3,kill:0.4")
+        backend = fresh_backend(workers=2)
+        try:
+            rng = np.random.default_rng(5)
+            sup = None
+            for trial in range(6):
+                key = rng.integers(0, 64, size=30_000)
+                assert np.array_equal(
+                    backend.stable_key_argsort(key, 64),
+                    REFERENCE.stable_key_argsort(key, 64),
+                )
+                values = rng.integers(0, 1000, size=30_000)
+                offsets = np.array([0, 15_000, 30_000], dtype=np.int64)
+                assert np.array_equal(
+                    backend.segmented_sort_values(values, offsets),
+                    REFERENCE.segmented_sort_values(values, offsets),
+                )
+            sup = backend.stats()["supervisor"]
+            # At kill:0.4 across this many dispatch rounds the seeded draws
+            # are guaranteed (deterministically) to have injected kills.
+            assert sup["chaos_kills"] >= 1
+            assert sup["respawns"] >= 1
+        finally:
+            backend.close()
+            monkeypatch.delenv("REPRO_CHAOS")
